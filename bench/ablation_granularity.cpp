@@ -1,0 +1,57 @@
+// Ablation: user next-touch migration granularity (paper Sec. 3.4 — the
+// user-space design's unique knob: "the library may migrate larger or more
+// complex areas ... since it knows the data structure in memory").
+//
+// A 16 MiB buffer is armed and then touched page-by-page from a remote
+// node. Granule = bytes migrated per fault: small granules pay a signal
+// round-trip + mprotect shootdown per window; the whole-region granule pays
+// them once but migrates data the toucher may not need yet.
+#include <vector>
+
+#include "common.hpp"
+#include "lib/user_next_touch.hpp"
+
+using namespace numasim;
+
+int main(int argc, char** argv) {
+  const auto opts = numasim::bench::parse_options(argc, argv);
+  const topo::Topology t = topo::Topology::quad_opteron();
+  const std::uint64_t npages = opts.quick ? 512 : 4096;
+  const std::uint64_t len = npages * mem::kPageSize;
+
+  numasim::bench::print_header(
+      opts, "Ablation — user next-touch granularity (16 MiB buffer)",
+      {"granule_pages", "faults", "throughput_MBs", "per_fault_us"});
+
+  std::vector<std::uint64_t> granules{1, 4, 16, 64, 256, 1024, 0 /*whole*/};
+  for (std::uint64_t g : granules) {
+    if (g > npages) continue;
+    kern::Kernel k(t, mem::Backing::kPhantom);
+    const kern::Pid pid = k.create_process();
+    kern::ThreadCtx owner;
+    owner.pid = pid;
+    owner.core = 0;
+    const vm::Vaddr buf = k.sys_mmap(owner, len, vm::Prot::kReadWrite, {}, "g");
+    k.access(owner, buf, len, vm::Prot::kWrite, 3500.0);
+
+    lib::UserNextTouch unt(k, pid);
+    kern::ThreadCtx toucher;
+    toucher.pid = pid;
+    toucher.core = 4;
+    toucher.clock = owner.clock;
+    const sim::Time t0 = toucher.clock;
+    unt.mark(toucher, buf, len, g * mem::kPageSize);
+    for (std::uint64_t i = 0; i < len; i += mem::kPageSize)
+      k.access(toucher, buf + i, 8, vm::Prot::kReadWrite, 0.0);
+    const sim::Time dur = toucher.clock - t0;
+
+    numasim::bench::print_row(
+        opts,
+        {g == 0 ? "whole" : numasim::bench::fmt_u64(g),
+         numasim::bench::fmt_u64(unt.stats().faults_handled),
+         numasim::bench::fmt(sim::mb_per_second(len, dur)),
+         numasim::bench::fmt(sim::to_microseconds(dur) /
+                             static_cast<double>(unt.stats().faults_handled))});
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation: cost-model sensitivity. Sweeps the calibrated kernel constants
+// one at a time and reports how the headline metrics respond — evidence for
+// which parts of the model each paper result actually depends on.
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace numasim;
+
+namespace {
+
+/// Patched move_pages plateau throughput under a modified cost model.
+double move_pages_plateau(const topo::Topology& t, const kern::CostModel& cm) {
+  kern::Kernel k(t, mem::Backing::kPhantom, cm);
+  const kern::Pid pid = k.create_process();
+  kern::ThreadCtx c;
+  c.pid = pid;
+  c.core = 0;
+  const std::uint64_t len = 4096 * mem::kPageSize;
+  const vm::Vaddr a = k.sys_mmap(c, len, vm::Prot::kReadWrite, {}, "b");
+  k.access(c, a, len, vm::Prot::kWrite, 3500.0);
+  std::vector<vm::Vaddr> pages;
+  for (std::uint64_t i = 0; i < len; i += mem::kPageSize) pages.push_back(a + i);
+  std::vector<topo::NodeId> nodes(pages.size(), 1);
+  std::vector<int> status(pages.size(), 0);
+  const sim::Time t0 = c.clock;
+  k.sys_move_pages(c, pages, nodes, status);
+  return sim::mb_per_second(len, c.clock - t0);
+}
+
+/// Kernel next-touch plateau under a modified cost model.
+double nt_plateau(const topo::Topology& t, const kern::CostModel& cm) {
+  kern::Kernel k(t, mem::Backing::kPhantom, cm);
+  const kern::Pid pid = k.create_process();
+  kern::ThreadCtx c;
+  c.pid = pid;
+  c.core = 0;
+  const std::uint64_t len = 4096 * mem::kPageSize;
+  const vm::Vaddr a = k.sys_mmap(c, len, vm::Prot::kReadWrite, {}, "b");
+  k.access(c, a, len, vm::Prot::kWrite, 3500.0);
+  kern::ThreadCtx r;
+  r.pid = pid;
+  r.core = 4;
+  r.clock = c.clock;
+  const sim::Time t0 = r.clock;
+  k.sys_madvise(r, a, len, kern::Advice::kMigrateOnNextTouch);
+  for (std::uint64_t i = 0; i < len; i += mem::kPageSize)
+    k.access(r, a + i, 8, vm::Prot::kReadWrite, 0.0);
+  return sim::mb_per_second(len, r.clock - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = numasim::bench::parse_options(argc, argv);
+  const topo::Topology t = topo::Topology::quad_opteron();
+
+  struct Knob {
+    std::string name;
+    std::function<void(kern::CostModel&, double)> apply;
+  };
+  const std::vector<Knob> knobs{
+      {"kernel_copy_rate", [](kern::CostModel& c, double f) {
+         c.kernel_copy_bytes_per_us *= f;
+       }},
+      {"move_pages_control", [](kern::CostModel& c, double f) {
+         c.move_pages_page_control = static_cast<sim::Time>(
+             static_cast<double>(c.move_pages_page_control) * f);
+       }},
+      {"nt_fault_control", [](kern::CostModel& c, double f) {
+         c.nt_fault_control = static_cast<sim::Time>(
+             static_cast<double>(c.nt_fault_control) * f);
+         c.pagefault_entry = static_cast<sim::Time>(
+             static_cast<double>(c.pagefault_entry) * f);
+       }},
+      {"madvise_mark", [](kern::CostModel& c, double f) {
+         c.madvise_page_mark = static_cast<sim::Time>(
+             static_cast<double>(c.madvise_page_mark) * f);
+       }},
+  };
+
+  numasim::bench::print_header(
+      opts, "Ablation — cost-model sensitivity of the two migration plateaus",
+      {"knob", "factor", "move_pages_MBs", "kernel_nt_MBs"});
+
+  for (const Knob& knob : knobs) {
+    for (double f : {0.5, 1.0, 2.0}) {
+      kern::CostModel cm;
+      knob.apply(cm, f);
+      numasim::bench::print_row(
+          opts, {knob.name, numasim::bench::fmt(f, "%.1f"),
+                 numasim::bench::fmt(move_pages_plateau(t, cm)),
+                 numasim::bench::fmt(nt_plateau(t, cm))});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Section 4.5 claim: BLAS1 (vector) operations never improve from memory
+// migration. A remote worker sweeps axpy over vectors on node 0; we compare
+// leaving them remote, migrating synchronously first, and lazy next-touch —
+// as a function of how many passes the worker performs.
+#include <vector>
+
+#include "apps/blas1_sweep.hpp"
+#include "common.hpp"
+
+using namespace numasim;
+
+namespace {
+
+sim::Time run_sweep(unsigned passes, apps::Blas1Config::Mode mode) {
+  rt::Machine m(bench::phantom_config());
+  apps::Blas1Config cfg;
+  cfg.n = 1u << 19;  // 4 MiB vectors
+  cfg.passes = passes;
+  cfg.mode = mode;
+  apps::Blas1Sweep app(m, cfg);
+  m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    co_await app.run(th, /*worker_core=*/4);  // node 1
+  });
+  return app.result().total_time;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = numasim::bench::parse_options(argc, argv);
+  using Mode = apps::Blas1Config::Mode;
+
+  numasim::bench::print_header(
+      opts, "Sec. 4.5 — BLAS1 axpy sweeps, remote vs migrated (simulated ms)",
+      {"passes", "remote_ms", "sync_migrate_ms", "lazy_nt_ms", "migration_pays"});
+
+  std::vector<unsigned> passes{1, 2, 4, 8, 16, 32, 64};
+  if (opts.quick) passes = {1, 8};
+
+  for (unsigned p : passes) {
+    const sim::Time remote = run_sweep(p, Mode::kRemote);
+    const sim::Time sync = run_sweep(p, Mode::kSyncMigrate);
+    const sim::Time lazy = run_sweep(p, Mode::kLazyMigrate);
+    numasim::bench::print_row(
+        opts, {numasim::bench::fmt_u64(p),
+               numasim::bench::fmt(sim::to_seconds(remote) * 1e3, "%.2f"),
+               numasim::bench::fmt(sim::to_seconds(sync) * 1e3, "%.2f"),
+               numasim::bench::fmt(sim::to_seconds(lazy) * 1e3, "%.2f"),
+               (sync < remote || lazy < remote) ? "yes" : "no"});
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Shared support for the paper-reproduction benchmark binaries.
+//
+// Each binary regenerates one table or figure of Goglin & Furmento 2009,
+// printing the same rows/series the paper reports. `--csv` switches to
+// machine-readable output for plotting.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "rt/machine.hpp"
+#include "rt/team.hpp"
+#include "rt/thread.hpp"
+
+namespace numasim::bench {
+
+struct Options {
+  bool csv = false;
+  bool quick = false;  ///< reduced sweeps for smoke runs
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) o.csv = true;
+    if (std::strcmp(argv[i], "--quick") == 0) o.quick = true;
+  }
+  return o;
+}
+
+inline void print_header(const Options& o, const std::string& title,
+                         const std::vector<std::string>& cols) {
+  if (o.csv) {
+    std::string line;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (i != 0) line += ',';
+      line += cols[i];
+    }
+    std::printf("%s\n", line.c_str());
+  } else {
+    std::printf("# %s\n", title.c_str());
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      std::printf("%s%-14s", i == 0 ? "" : " ", cols[i].c_str());
+    std::printf("\n");
+  }
+}
+
+inline void print_row(const Options& o, const std::vector<std::string>& cells) {
+  if (o.csv) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) line += ',';
+      line += cells[i];
+    }
+    std::printf("%s\n", line.c_str());
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      std::printf("%s%-14s", i == 0 ? "" : " ", cells[i].c_str());
+    std::printf("\n");
+  }
+}
+
+inline std::string fmt(double v, const char* spec = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+inline std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Fresh phantom-backed paper machine (one per measurement so hardware
+/// timelines start idle).
+inline kern::Kernel fresh_kernel(const topo::Topology& t) {
+  return kern::Kernel(t, mem::Backing::kPhantom);
+}
+
+inline rt::Machine::Config phantom_config() {
+  rt::Machine::Config cfg;
+  cfg.backing = mem::Backing::kPhantom;
+  return cfg;
+}
+
+}  // namespace numasim::bench

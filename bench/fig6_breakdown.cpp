@@ -1,0 +1,95 @@
+// Figure 6: cost breakdown of the two next-touch implementations, as
+// percentages of the total migration cost per buffer size.
+//
+// (a) user-space: move_pages copy / move_pages control / mprotect restore /
+//     page-fault+signal / mprotect mark.
+// (b) kernel: copy / fault+migration control / madvise.
+// Paper result: at large sizes the user-space control share stays ~38 %
+// (inherited from move_pages) while the kernel path is ~80 % copy.
+#include <vector>
+
+#include "common.hpp"
+#include "lib/user_next_touch.hpp"
+
+using namespace numasim;
+
+namespace {
+
+struct Probe {
+  kern::Kernel k;
+  kern::Pid pid;
+  kern::ThreadCtx owner;
+  kern::ThreadCtx toucher;
+  vm::Vaddr buf;
+  std::uint64_t len;
+
+  Probe(const topo::Topology& t, std::uint64_t npages)
+      : k(t, mem::Backing::kPhantom), pid(k.create_process()),
+        len(npages * mem::kPageSize) {
+    owner.pid = pid;
+    owner.core = 0;
+    toucher.pid = pid;
+    toucher.core = 4;
+    buf = k.sys_mmap(owner, len, vm::Prot::kReadWrite, {}, "nt");
+    k.access(owner, buf, len, vm::Prot::kWrite, 3500.0);
+    toucher.clock = owner.clock;
+    toucher.stats.reset();
+  }
+
+  void touch_all_pages() {
+    for (std::uint64_t i = 0; i < len; i += mem::kPageSize)
+      k.access(toucher, buf + i, sizeof(std::uint64_t), vm::Prot::kReadWrite, 0.0);
+  }
+};
+
+double pct(const sim::CostStats& s, sim::CostKind k) { return 100.0 * s.fraction(k); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = numasim::bench::parse_options(argc, argv);
+  const topo::Topology t = topo::Topology::quad_opteron();
+
+  numasim::bench::print_header(
+      opts, "Fig. 6(a) — user-space next-touch cost percentage",
+      {"pages", "mv_copy", "mv_control", "mprot_restore", "fault+signal",
+       "mprot_mark"});
+  for (std::uint64_t n = 4; n <= (opts.quick ? 256u : 4096u); n *= 2) {
+    Probe p(t, n);
+    lib::UserNextTouch unt(p.k, p.pid);
+    unt.mark(p.toucher, p.buf, p.len);
+    p.touch_all_pages();
+    const sim::CostStats& s = p.toucher.stats;
+    numasim::bench::print_row(
+        opts,
+        {numasim::bench::fmt_u64(n),
+         numasim::bench::fmt(pct(s, sim::CostKind::kMovePagesCopy)),
+         numasim::bench::fmt(pct(s, sim::CostKind::kMovePagesControl) +
+                             pct(s, sim::CostKind::kLockWait) +
+                             pct(s, sim::CostKind::kSyscallEntry)),
+         numasim::bench::fmt(pct(s, sim::CostKind::kMprotectRestore)),
+         numasim::bench::fmt(pct(s, sim::CostKind::kPageFault) +
+                             pct(s, sim::CostKind::kSignalDelivery)),
+         numasim::bench::fmt(pct(s, sim::CostKind::kMprotectMark))});
+  }
+
+  std::printf("%s", opts.csv ? "" : "\n");
+  numasim::bench::print_header(
+      opts, "Fig. 6(b) — kernel next-touch cost percentage",
+      {"pages", "copy", "fault+control", "madvise"});
+  for (std::uint64_t n = 4; n <= (opts.quick ? 256u : 4096u); n *= 2) {
+    Probe p(t, n);
+    p.k.sys_madvise(p.toucher, p.buf, p.len, kern::Advice::kMigrateOnNextTouch);
+    p.touch_all_pages();
+    const sim::CostStats& s = p.toucher.stats;
+    numasim::bench::print_row(
+        opts, {numasim::bench::fmt_u64(n),
+               numasim::bench::fmt(pct(s, sim::CostKind::kNextTouchCopy)),
+               numasim::bench::fmt(pct(s, sim::CostKind::kNextTouchControl) +
+                                   pct(s, sim::CostKind::kPageFault) +
+                                   pct(s, sim::CostKind::kLockWait)),
+               numasim::bench::fmt(pct(s, sim::CostKind::kMadvise) +
+                                   pct(s, sim::CostKind::kSyscallEntry))});
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 8: execution time of 16 concurrent BLAS3 multiplications in 16
+// independent threads — static allocation vs kernel next-touch vs user-space
+// next-touch, versus matrix size.
+//
+// Paper result: migration starts paying at N=512 (the size where the
+// operands stop fitting in the node L3); below that, static allocation wins
+// because the multiply is cache-resident and migration is pure overhead.
+#include <vector>
+
+#include "apps/matmul_batch.hpp"
+#include "common.hpp"
+
+using namespace numasim;
+
+namespace {
+
+sim::Time run_batch(std::uint64_t n, apps::MatmulBatchConfig::Mode mode) {
+  rt::Machine m(bench::phantom_config());
+  rt::Team team = rt::Team::all_cores(m);
+  apps::MatmulBatchConfig cfg;
+  cfg.n = n;
+  cfg.mode = mode;
+  apps::MatmulBatch app(m, team, cfg);
+  m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> { co_await app.run(th); });
+  return app.result().compute_time;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = numasim::bench::parse_options(argc, argv);
+  using Mode = apps::MatmulBatchConfig::Mode;
+
+  numasim::bench::print_header(
+      opts, "Fig. 8 — 16 concurrent BLAS3 multiplications (simulated seconds)",
+      {"N", "static_s", "kernel_nt_s", "user_nt_s"});
+
+  std::vector<std::uint64_t> sizes{128, 256, 512, 1024, 2048};
+  if (opts.quick) sizes = {128, 512};
+
+  for (std::uint64_t n : sizes) {
+    numasim::bench::print_row(
+        opts,
+        {numasim::bench::fmt_u64(n),
+         numasim::bench::fmt(sim::to_seconds(run_batch(n, Mode::kStatic)), "%.4f"),
+         numasim::bench::fmt(sim::to_seconds(run_batch(n, Mode::kKernelNextTouch)), "%.4f"),
+         numasim::bench::fmt(sim::to_seconds(run_batch(n, Mode::kUserNextTouch)), "%.4f")});
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks of the simulator core itself: how many
+// engine events, page-table walks and fault handlings the host can push per
+// second. These bound how large a simulated experiment is practical (the
+// Table 1 32k runs walk ~10^8 pages).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "rt/team.hpp"
+
+using namespace numasim;
+
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    const std::int64_t n = state.range(0);
+    e.start([](sim::Engine& eng, std::int64_t steps) -> sim::Task<void> {
+      for (std::int64_t i = 0; i < steps; ++i) co_await eng.advance(10);
+    }(e, n));
+    e.run();
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PageTableWalk(benchmark::State& state) {
+  vm::PageTable pt;
+  const std::int64_t pages = state.range(0);
+  for (vm::Vpn v = 0; v < static_cast<vm::Vpn>(pages); ++v)
+    pt.ensure(v).set(vm::Pte::kPresent | vm::Pte::kHwRead);
+  for (auto _ : state) {
+    std::uint64_t present = 0;
+    for (vm::Vpn v = 0; v < static_cast<vm::Vpn>(pages); ++v)
+      present += pt.find(v)->present();
+    benchmark::DoNotOptimize(present);
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_PageTableWalk)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_FirstTouchFaultPath(benchmark::State& state) {
+  const topo::Topology topo = topo::Topology::quad_opteron();
+  const std::int64_t pages = state.range(0);
+  for (auto _ : state) {
+    kern::Kernel k(topo, mem::Backing::kPhantom);
+    const kern::Pid pid = k.create_process();
+    kern::ThreadCtx t;
+    t.pid = pid;
+    const vm::Vaddr a =
+        k.sys_mmap(t, pages * mem::kPageSize, vm::Prot::kReadWrite);
+    k.access(t, a, pages * mem::kPageSize, vm::Prot::kWrite, 3500.0);
+    benchmark::DoNotOptimize(k.stats().minor_faults);
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_FirstTouchFaultPath)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_NextTouchMigrationPath(benchmark::State& state) {
+  const topo::Topology topo = topo::Topology::quad_opteron();
+  const std::int64_t pages = state.range(0);
+  for (auto _ : state) {
+    kern::Kernel k(topo, mem::Backing::kPhantom);
+    const kern::Pid pid = k.create_process();
+    kern::ThreadCtx t;
+    t.pid = pid;
+    const std::uint64_t len = pages * mem::kPageSize;
+    const vm::Vaddr a = k.sys_mmap(t, len, vm::Prot::kReadWrite);
+    k.access(t, a, len, vm::Prot::kWrite, 3500.0);
+    k.sys_madvise(t, a, len, kern::Advice::kMigrateOnNextTouch);
+    kern::ThreadCtx r;
+    r.pid = pid;
+    r.core = 4;
+    r.clock = t.clock;
+    k.access(r, a, len, vm::Prot::kRead, 0.0);
+    benchmark::DoNotOptimize(k.stats().pages_migrated_nexttouch);
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_NextTouchMigrationPath)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ParallelRegionForkJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    rt::Machine::Config mc;
+    mc.backing = mem::Backing::kPhantom;
+    rt::Machine m(mc);
+    const std::int64_t regions = state.range(0);
+    m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+      rt::Team team = rt::Team::all_cores(m);
+      for (std::int64_t i = 0; i < regions; ++i) {
+        rt::Team::WorkerFn w = [](unsigned, rt::Thread& wt) -> sim::Task<void> {
+          co_await wt.compute(1000);
+        };
+        co_await team.parallel(th, std::move(w));
+      }
+    });
+    benchmark::DoNotOptimize(m.engine().events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_ParallelRegionForkJoin)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

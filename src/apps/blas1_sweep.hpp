@@ -1,0 +1,47 @@
+// BLAS1 migration (non-)benefit probe (paper Sec. 4.5, last paragraph).
+//
+// A worker on a remote node runs `passes` axpy sweeps over vectors that
+// live on node 0. Three variants: leave the data remote, migrate it
+// synchronously first, or mark it migrate-on-next-touch. The paper observed
+// BLAS1 "never improves thanks to memory migration"; with few passes the
+// migration cost exceeds the per-pass remote-access penalty.
+#pragma once
+
+#include <cstdint>
+
+#include "blas/blas.hpp"
+#include "rt/machine.hpp"
+#include "rt/thread.hpp"
+
+namespace numasim::apps {
+
+struct Blas1Config {
+  std::uint64_t n = 1u << 20;  ///< vector length (doubles)
+  unsigned passes = 4;
+  enum class Mode : std::uint8_t { kRemote, kSyncMigrate, kLazyMigrate };
+  Mode mode = Mode::kRemote;
+  blas::BlasParams blas{};
+};
+
+struct Blas1Result {
+  sim::Time total_time = 0;      ///< migration (if any) + all passes
+  sim::Time migration_time = 0;  ///< the migration portion
+};
+
+class Blas1Sweep {
+ public:
+  Blas1Sweep(rt::Machine& m, Blas1Config cfg) : m_(m), cfg_(cfg), blas_(m, cfg.blas) {}
+
+  /// `main` must run on node 0; the compute worker is forked on `worker_core`.
+  sim::Task<void> run(rt::Thread& main, topo::CoreId worker_core);
+
+  const Blas1Result& result() const { return result_; }
+
+ private:
+  rt::Machine& m_;
+  Blas1Config cfg_;
+  blas::BlasEngine blas_;
+  Blas1Result result_;
+};
+
+}  // namespace numasim::apps

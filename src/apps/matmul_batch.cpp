@@ -1,0 +1,69 @@
+#include "apps/matmul_batch.hpp"
+
+#include <memory>
+
+#include "lib/numalib.hpp"
+
+namespace numasim::apps {
+
+MatmulBatch::MatmulBatch(rt::Machine& m, rt::Team& team, MatmulBatchConfig cfg)
+    : m_(m), team_(team), cfg_(cfg), blas_(m, cfg.blas) {}
+
+sim::Task<void> MatmulBatch::run(rt::Thread& main) {
+  kern::Kernel& k = m_.kernel();
+  const std::uint64_t mat_bytes = cfg_.n * cfg_.n * blas::kElemBytes;
+  const std::uint64_t arena = 3 * mat_bytes;  // A | B | C
+
+  // Main thread allocates and initializes everything: first-touch places all
+  // pages on the main thread's node.
+  bufs_.clear();
+  for (unsigned t = 0; t < team_.size(); ++t) {
+    const vm::Vaddr a = lib::numa_alloc_local(main.ctx(), k, arena, "gemm-arena");
+    lib::populate(main.ctx(), k, a, arena);
+    bufs_.push_back(a);
+  }
+  co_await main.sync();
+
+  // User next-touch library, shared by the workers (it is the process
+  // SIGSEGV handler); only constructed when needed.
+  std::shared_ptr<lib::UserNextTouch> unt;
+  if (cfg_.mode == MatmulBatchConfig::Mode::kUserNextTouch)
+    unt = std::make_shared<lib::UserNextTouch>(k, m_.pid());
+
+  const std::uint64_t migrated0 =
+      k.stats().pages_migrated_nexttouch + k.stats().pages_migrated_move;
+
+  const auto mode = cfg_.mode;
+  const auto n = cfg_.n;
+  const auto reps = cfg_.repetitions;
+  const auto& bufs = bufs_;
+  blas::BlasEngine* eng = &blas_;
+
+  // Named before co_await: GCC 12 coroutine workaround (see team.cpp).
+  rt::Team::WorkerFn worker =
+      [mode, n, reps, &bufs, eng, unt, mat_bytes, arena](
+          unsigned tid, rt::Thread& th) -> sim::Task<void> {
+        const vm::Vaddr base = bufs[tid];
+        if (mode == MatmulBatchConfig::Mode::kKernelNextTouch) {
+          co_await th.madvise(base, arena, kern::Advice::kMigrateOnNextTouch);
+        } else if (mode == MatmulBatchConfig::Mode::kUserNextTouch) {
+          unt->mark(th.ctx(), base, arena);
+          co_await th.sync();
+        }
+        const blas::Matrix a{base, n, n, n};
+        const blas::Matrix b{base + mat_bytes, n, n, n};
+        const blas::Matrix c{base + 2 * mat_bytes, n, n, n};
+        for (unsigned r = 0; r < reps; ++r) {
+          co_await eng->gemm_minus(th, blas::Tile::of(a, 0, 0, n, n),
+                                   blas::Tile::of(b, 0, 0, n, n),
+                                   blas::Tile::of(c, 0, 0, n, n));
+        }
+      };
+  co_await team_.parallel(main, std::move(worker));
+
+  result_.compute_time = team_.last_span();
+  result_.pages_migrated = k.stats().pages_migrated_nexttouch +
+                           k.stats().pages_migrated_move - migrated0;
+}
+
+}  // namespace numasim::apps

@@ -1,0 +1,99 @@
+// Simulated BLAS kernels: timing-modelled, optionally numerically real.
+//
+// Timing model. Each kernel touches its operand tiles through the MMU (so
+// faults, first-touch placement and next-touch migration behave exactly as
+// for any other access), then charges
+//   * data traffic: operand bytes, amplified by `bytes_per_flop` when the
+//     operand workset exceeds the cache (a 2009-era untuned BLAS streams
+//     operands repeatedly); traffic is drawn from the nodes that actually
+//     hold the pages, so locality and link congestion emerge naturally;
+//   * arithmetic: flops / (core peak * gemm_efficiency).
+// The cache test against the node's shared L3 is what makes small blocks
+// placement-insensitive — the mechanism behind the paper's 512-block
+// threshold (Table 1, Fig. 8).
+//
+// Numeric mode. On a materialized machine the kernels also perform the real
+// double-precision arithmetic on the simulated memory contents, letting
+// tests validate an entire LU factorization bit-for-bit against a host
+// reference while migrations shuffle pages underneath.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blas/tile.hpp"
+#include "rt/team.hpp"
+
+namespace numasim::blas {
+
+struct BlasParams {
+  /// Out-of-cache traffic amplification: bytes of memory traffic generated
+  /// per floating-point operation (untuned 2009 BLAS, strided B accesses).
+  double bytes_per_flop = 3.0;
+  /// Operands must fit in this fraction of the node L3 to count as cached.
+  double cache_fraction = 1.0;
+  /// Fraction of operand bytes that still reach DRAM when the operand set is
+  /// cache-resident (cross-call reuse keeps most lines hot). This is what
+  /// makes small blocks placement-insensitive: there is little DRAM traffic
+  /// left for migration to localize.
+  double cache_hit_fraction = 0.25;
+  /// Amplified traffic is charged to the hardware in slices of this many
+  /// bytes, with an engine yield between slices, so concurrent kernels share
+  /// DRAM/links fairly instead of blocking each other for whole operands.
+  std::uint64_t stream_slice_bytes = 8u << 20;
+  /// Sustained fraction of peak flops (overrides topo CoreSpec when >0).
+  double flop_efficiency = 0.0;
+  /// Also execute the arithmetic on materialized memory.
+  bool numeric = false;
+};
+
+class BlasEngine {
+ public:
+  explicit BlasEngine(rt::Machine& m, BlasParams params = {});
+
+  const BlasParams& params() const { return params_; }
+
+  /// C -= A * B  (A: m×k, B: k×n, C: m×n).
+  sim::Task<void> gemm_minus(rt::Thread& th, Tile a, Tile b, Tile c);
+
+  /// B = L⁻¹ B with L the unit-lower-triangular factor stored in `d`.
+  sim::Task<void> trsm_lower_left(rt::Thread& th, Tile d, Tile b);
+
+  /// B = B U⁻¹ with U the upper-triangular factor stored in `d`.
+  sim::Task<void> trsm_upper_right(rt::Thread& th, Tile d, Tile b);
+
+  /// In-place unblocked LU of a square tile (no pivoting; see DESIGN.md).
+  sim::Task<void> getf2(rt::Thread& th, Tile d);
+
+  /// y += alpha * x over n doubles (BLAS1; exact streaming traffic).
+  sim::Task<void> axpy(rt::Thread& th, double alpha, vm::Vaddr x, vm::Vaddr y,
+                       std::uint64_t n);
+
+  /// Sum of x[i]*y[i] (timing always; value only in numeric mode, else 0).
+  sim::Task<double> dot(rt::Thread& th, vm::Vaddr x, vm::Vaddr y, std::uint64_t n);
+
+ private:
+  /// Touch the tiles and charge traffic + flops for one kernel invocation.
+  /// Coroutine: yields between traffic slices for fair hardware sharing.
+  sim::Task<void> account(rt::Thread& th, std::uint64_t flops, const Tile* reads,
+                          std::size_t nreads, const Tile* writes,
+                          std::size_t nwrites);
+
+  double flop_ns(std::uint64_t flops) const;
+
+  // Host-side numeric helpers (materialized machines only).
+  std::vector<double> load(rt::Thread& th, const Tile& t) const;
+  void store(rt::Thread& th, const Tile& t, const std::vector<double>& v) const;
+
+  rt::Machine& m_;
+  BlasParams params_;
+};
+
+/// Fill a simulated matrix with deterministic values (numeric machines);
+/// element (r,c) = f(r,c). Uses poke() — no simulated time passes.
+void fill_matrix(rt::Machine& m, const Matrix& mat, double (*f)(std::uint64_t, std::uint64_t));
+
+/// Read a simulated matrix into host memory (no simulated time).
+std::vector<double> dump_matrix(rt::Machine& m, const Matrix& mat);
+
+}  // namespace numasim::blas

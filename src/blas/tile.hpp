@@ -1,0 +1,46 @@
+// Matrix and tile descriptors over simulated buffers.
+//
+// Matrices are row-major double-precision with a leading dimension, living
+// at a simulated virtual address; a Tile is a rectangular view. Layout is
+// deliberately the paper's: with ld = N doubles, a 512-wide tile's rows are
+// exactly page-sized, which is the block-size threshold Table 1 hinges on.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/address_space.hpp"
+
+namespace numasim::blas {
+
+inline constexpr std::uint64_t kElemBytes = sizeof(double);
+
+struct Matrix {
+  vm::Vaddr base = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t ld = 0;  ///< leading dimension, in elements
+
+  std::uint64_t bytes() const { return rows * ld * kElemBytes; }
+  vm::Vaddr at(std::uint64_t r, std::uint64_t c) const {
+    return base + (r * ld + c) * kElemBytes;
+  }
+};
+
+struct Tile {
+  vm::Vaddr base = 0;        ///< address of tile element (0,0)
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t ld = 0;      ///< parent leading dimension, in elements
+
+  static Tile of(const Matrix& m, std::uint64_t r0, std::uint64_t c0,
+                 std::uint64_t nr, std::uint64_t nc) {
+    return Tile{m.at(r0, c0), nr, nc, m.ld};
+  }
+
+  std::uint64_t row_bytes() const { return cols * kElemBytes; }
+  std::uint64_t stride_bytes() const { return ld * kElemBytes; }
+  std::uint64_t touched_bytes() const { return rows * cols * kElemBytes; }
+  vm::Vaddr row_addr(std::uint64_t r) const { return base + r * stride_bytes(); }
+};
+
+}  // namespace numasim::blas

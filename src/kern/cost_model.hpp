@@ -1,0 +1,105 @@
+// Every timing constant of the simulated kernel and hardware, in one place.
+//
+// Defaults are calibrated against the paper's own measurements on the
+// 4-socket Opteron 8347HE host (Section 4):
+//   - move_pages:    ~160 us base overhead, ~600 MB/s plateau, control 38 %
+//   - migrate_pages: ~400 us base overhead, ~780 MB/s plateau
+//   - kernel next-touch: ~800 MB/s even for small buffers, control 20 %
+//   - kernel page copy: ~1 GB/s (no SSE inside the kernel)
+//   - user memcpy across nodes: ~1.8 GB/s
+// Sensitivity ablation benches sweep individual constants.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace numasim::kern {
+
+struct CostModel {
+  using Time = sim::Time;
+
+  // --- syscall and fault plumbing -----------------------------------------
+  Time syscall_entry = 150;       ///< user->kernel->user trampoline
+  Time pagefault_entry = 400;     ///< hw fault + kernel entry + VMA lookup
+  Time signal_delivery = 1800;    ///< SIGSEGV frame setup + dispatch to handler
+  Time sigreturn = 600;           ///< return path from a signal handler
+
+  // --- address-space management ----------------------------------------------
+  Time mmap_base = 2000;
+  Time munmap_base = 2000;
+  Time munmap_page = 80;
+
+  // --- page table and TLB ---------------------------------------------------
+  Time pte_update = 60;            ///< rewrite one PTE
+  Time tlb_flush_local = 120;      ///< invlpg-style local flush
+  Time tlb_shootdown_base = 2000;  ///< IPI broadcast setup
+  Time tlb_shootdown_per_core = 350;
+
+  // --- physical page management ---------------------------------------------
+  Time page_alloc = 250;
+  Time page_free = 180;
+  double zero_rate_bytes_per_us = 4000.0;  ///< zero-fill on first touch
+
+  // --- copy engines -----------------------------------------------------------
+  double kernel_copy_bytes_per_us = 1000.0;  ///< migrate copies: 1 GB/s
+  double user_copy_bytes_per_us = 1800.0;    ///< SSE memcpy
+  Time user_memcpy_base = 2000;              ///< call + cache-warmup overhead
+  double core_stream_bytes_per_us = 3500.0;  ///< one core's streaming load bw
+
+  // --- move_pages -------------------------------------------------------------
+  Time move_pages_base = 160'000;        ///< paper Sec. 4.2: ~160 us
+  Time move_pages_base_locked = 100'000; ///< portion under mmap_sem
+  Time move_pages_page_control = 2700;   ///< per-page bookkeeping (38 % of 6.8us)
+  Time move_pages_page_locked = 1600;    ///< portion under the page-table lock
+  /// Unpatched (pre-2.6.29) implementation: per processed page, the status /
+  /// destination array is scanned linearly -> O(n^2) total.
+  double quadratic_scan_ns_per_slot = 8.0;
+
+  /// Range-based interface (the paper's proposed improvement): sequential
+  /// walk, no per-page argument processing or status write-back.
+  Time move_pages_range_page_control = 1900;
+  Time move_pages_range_base = 60'000;
+
+  // --- migrate_pages -----------------------------------------------------------
+  Time migrate_pages_base = 400'000;      ///< whole-VA-space traversal setup
+  Time migrate_pages_page_control = 1150; ///< cheaper: in-order walk, batched locks
+  Time migrate_pages_page_locked = 700;
+
+  // --- next-touch (the paper's kernel patch) -----------------------------------
+  Time madvise_base = 1200;
+  Time madvise_page_mark = 150;   ///< clear hw bits + set PTE next-touch flag
+  Time nt_fault_control = 600;    ///< alloc + remap in the fault path
+  Time nt_fault_locked = 450;     ///< portion under the page-table lock
+
+  // --- replication (extension; paper future work) -------------------------------
+  Time replica_control = 700;    ///< per-replica create/collapse bookkeeping
+
+  // --- mprotect (drives the user-space next-touch of Fig. 1) -------------------
+  Time mprotect_base = 1000;
+  Time mprotect_page = 90;
+
+  // --- lock contention ----------------------------------------------------------
+  /// Extra hold time when a lock's ownership moves between cores (cache-line
+  /// bounce); applied to the coarse mmap_sem-style locks.
+  Time lock_bounce = 1500;
+
+  /// Serialized portion of migrating one page — the page-table-lock /
+  /// LRU-lock / TLB-IPI critical section that concurrent migrations of the
+  /// same process cannot overlap. A single thread is never limited by it
+  /// (it is below the per-page total); with several threads it caps the
+  /// aggregate at page_size/serial, reproducing Fig. 7's ceilings
+  /// (~1.0 GB/s synchronous, ~1.3 GB/s lazy).
+  Time move_pages_serial_per_page = 4100;
+  Time nt_serial_per_page = 3150;
+  Time migrate_pages_serial_per_page = 3600;
+
+  // --- barriers / scheduling ------------------------------------------------------
+  Time barrier_phase = 2500;     ///< one OpenMP-style barrier episode
+  Time thread_spawn = 15'000;
+
+  /// Shootdown of all cores' TLBs (mprotect/madvise over live mappings).
+  Time tlb_shootdown(unsigned cores) const {
+    return tlb_shootdown_base + tlb_shootdown_per_core * cores;
+  }
+};
+
+}  // namespace numasim::kern

@@ -1,0 +1,36 @@
+// Linux-style error returns for the simulated system calls.
+//
+// Syscalls return 0 (or a positive count) on success and -E* on failure,
+// exactly like the real ABI, so user-level code ports over unchanged.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace numasim::kern {
+
+/// Thrown when a simulated thread takes an unhandleable SIGSEGV (no handler
+/// registered, fault inside a handler, or a retry storm) — the equivalent of
+/// the process being killed.
+class SegfaultError : public std::runtime_error {
+ public:
+  explicit SegfaultError(std::uint64_t addr)
+      : std::runtime_error("simulated SIGSEGV at address " + std::to_string(addr)),
+        fault_addr(addr) {}
+  std::uint64_t fault_addr;
+};
+
+inline constexpr int kEPERM = 1;
+inline constexpr int kESRCH = 3;
+inline constexpr int kENOMEM = 12;
+inline constexpr int kEACCES = 13;
+inline constexpr int kEFAULT = 14;
+inline constexpr int kEBUSY = 16;
+inline constexpr int kEINVAL = 22;
+inline constexpr int kENOSYS = 38;
+
+/// Per-page status codes reported by move_pages (positive = node id).
+inline constexpr int kStatusNotPresent = -kEFAULT;
+
+}  // namespace numasim::kern

@@ -1,0 +1,59 @@
+#include "kern/event_log.hpp"
+
+#include <sstream>
+
+namespace numasim::kern {
+
+std::string_view event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kMinorFault: return "minor-fault";
+    case EventType::kNextTouchMark: return "nt-mark";
+    case EventType::kNextTouchMigrate: return "nt-migrate";
+    case EventType::kMovePages: return "move_pages";
+    case EventType::kMigrateProcess: return "migrate_pages";
+    case EventType::kSigsegv: return "sigsegv";
+    case EventType::kReplicaCreate: return "replica-create";
+    case EventType::kReplicaCollapse: return "replica-collapse";
+  }
+  return "?";
+}
+
+std::string EventLog::render(std::size_t limit) const {
+  std::ostringstream os;
+  const std::size_t n = events_.size();
+  const std::size_t first = n > limit ? n - limit : 0;
+  for (std::size_t i = first; i < n; ++i) {
+    const Event& e = events_[i];
+    os << sim::format_time(e.when) << "  tid" << e.tid << "  "
+       << event_type_name(e.type) << "  vpn=0x" << std::hex << e.vpn << std::dec;
+    if (e.pages > 1) os << " pages=" << e.pages;
+    if (e.from != topo::kInvalidNode) os << " from=N" << e.from;
+    if (e.to != topo::kInvalidNode) os << " to=N" << e.to;
+    os << '\n';
+  }
+  if (dropped_ > 0) os << "(" << dropped_ << " older events dropped)\n";
+  return os.str();
+}
+
+std::string EventLog::to_csv() const {
+  std::ostringstream os;
+  os << "time_ns,tid,type,vpn,pages,from,to\n";
+  for (const Event& e : events_) {
+    os << e.when << ',' << e.tid << ',' << event_type_name(e.type) << ',' << e.vpn
+       << ',' << e.pages << ',';
+    if (e.from != topo::kInvalidNode) os << e.from;
+    os << ',';
+    if (e.to != topo::kInvalidNode) os << e.to;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::uint64_t EventLog::count(EventType t) const {
+  std::uint64_t n = 0;
+  for (const Event& e : events_)
+    if (e.type == t) ++n;
+  return n;
+}
+
+}  // namespace numasim::kern

@@ -1,0 +1,77 @@
+// Kernel event log: a bounded trace of memory-management events.
+//
+// Attach with Kernel::set_event_log(); the kernel then records faults,
+// migrations, markings and signals with their simulated timestamps. Tools
+// (examples, debugging sessions) render the trace as text or CSV — the
+// simulated analogue of ftrace's mm events.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/time.hpp"
+#include "topo/topology.hpp"
+#include "vm/page_table.hpp"
+
+namespace numasim::kern {
+
+enum class EventType : std::uint8_t {
+  kMinorFault,       // first-touch population
+  kNextTouchMark,    // madvise(MIGRATE_ON_NEXT_TOUCH)
+  kNextTouchMigrate, // fault-path page migration
+  kMovePages,        // move_pages syscall batch
+  kMigrateProcess,   // migrate_pages syscall
+  kSigsegv,          // signal delivered to user handler
+  kReplicaCreate,
+  kReplicaCollapse,
+};
+
+std::string_view event_type_name(EventType t);
+
+struct Event {
+  sim::Time when = 0;
+  std::uint32_t tid = 0;
+  EventType type = EventType::kMinorFault;
+  vm::Vpn vpn = 0;            ///< first page involved
+  std::uint64_t pages = 0;    ///< pages affected
+  topo::NodeId from = topo::kInvalidNode;
+  topo::NodeId to = topo::kInvalidNode;
+};
+
+/// Bounded FIFO of events (oldest dropped when full).
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(const Event& e) {
+    if (events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(e);
+  }
+
+  const std::deque<Event>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Human-readable rendering of the most recent `limit` events.
+  std::string render(std::size_t limit = 32) const;
+
+  /// CSV of the whole buffer (header + one row per event).
+  std::string to_csv() const;
+
+  /// Count of events of a given type currently buffered.
+  std::uint64_t count(EventType t) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::deque<Event> events_;
+};
+
+}  // namespace numasim::kern

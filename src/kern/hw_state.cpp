@@ -1,0 +1,81 @@
+#include "kern/hw_state.hpp"
+
+#include <algorithm>
+
+namespace numasim::kern {
+
+double HwState::path_rate(topo::NodeId core_node, topo::NodeId mem_node,
+                          double engine_rate) const {
+  // A single request stream sustains fewer bytes per unit time the farther
+  // the memory is: outstanding-request capacity divided by round-trip
+  // latency. We scale the requester's local rate by the latency ratio
+  // (local / remote), which yields exactly the paper's NUMA factor of
+  // 1.2-1.4 for one and two hops on the default machine.
+  double rate = engine_rate;
+  if (core_node != mem_node) {
+    const double local = static_cast<double>(topo_.node_spec(core_node).dram_latency);
+    const double remote = static_cast<double>(topo_.access_latency(core_node, mem_node));
+    rate = engine_rate * (local / remote);
+    rate = std::min(rate, topo_.link_spec(topo_.route(core_node, mem_node)[0]).bytes_per_us);
+  }
+  return std::min(rate, topo_.node_spec(mem_node).dram_bytes_per_us);
+}
+
+sim::Slot HwState::stream(sim::Time now, topo::NodeId core_node,
+                          topo::NodeId mem_node, std::uint64_t bytes,
+                          double max_rate) {
+  const double rate = path_rate(core_node, mem_node, max_rate);
+  const sim::Time requester = static_cast<sim::Time>(
+      static_cast<double>(bytes) * 1000.0 / rate + 0.5);
+
+  // Gather involved resources, find the common start, reserve each for its
+  // own service time.
+  sim::Time start = now;
+  start = std::max(start, dram_[mem_node].free_at());
+  const auto route = topo_.route(core_node, mem_node);
+  for (topo::LinkId l : route) start = std::max(start, links_[l].free_at());
+
+  sim::Time finish = start + requester;
+  {
+    const sim::Time svc = dram_[mem_node].duration(bytes);
+    dram_[mem_node].transfer(start, bytes);  // advances its free_at
+    finish = std::max(finish, start + svc);
+  }
+  for (topo::LinkId l : route) {
+    const sim::Time svc = links_[l].duration(bytes);
+    links_[l].transfer(start, bytes);
+    finish = std::max(finish, start + svc);
+  }
+  return {start, finish};
+}
+
+sim::Slot HwState::copy(sim::Time now, topo::NodeId from, topo::NodeId to,
+                        std::uint64_t bytes, double engine_rate) {
+  double rate = engine_rate;
+  rate = std::min(rate, topo_.node_spec(from).dram_bytes_per_us);
+  rate = std::min(rate, topo_.node_spec(to).dram_bytes_per_us);
+  const auto route = topo_.route(from, to);
+  for (topo::LinkId l : route) rate = std::min(rate, topo_.link_spec(l).bytes_per_us);
+  const sim::Time requester =
+      static_cast<sim::Time>(static_cast<double>(bytes) * 1000.0 / rate + 0.5);
+
+  sim::Time start = now;
+  start = std::max(start, dram_[from].free_at());
+  if (to != from) start = std::max(start, dram_[to].free_at());
+  for (topo::LinkId l : route) start = std::max(start, links_[l].free_at());
+
+  sim::Time finish = start + requester;
+  dram_[from].transfer(start, bytes);
+  finish = std::max(finish, start + dram_[from].duration(bytes));
+  if (to != from) {
+    dram_[to].transfer(start, bytes);
+    finish = std::max(finish, start + dram_[to].duration(bytes));
+  }
+  for (topo::LinkId l : route) {
+    links_[l].transfer(start, bytes);
+    finish = std::max(finish, start + links_[l].duration(bytes));
+  }
+  return {start, finish};
+}
+
+}  // namespace numasim::kern

@@ -1,0 +1,90 @@
+// Dynamic hardware contention state: DRAM controllers, HT links, locks.
+//
+// Topology describes the machine; HwState carries the timeline resources
+// that make concurrent simulated threads contend for it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "topo/topology.hpp"
+
+namespace numasim::kern {
+
+/// A Timeline that models cache-line bouncing: when consecutive reservations
+/// come from different owners (cores), an extra `bounce` penalty is added to
+/// the hold time. This is the mechanism that keeps multi-threaded migration
+/// from scaling linearly (paper Fig. 7, "lock contention in the kernel").
+class OwnedTimeline {
+ public:
+  sim::Slot reserve(sim::Time now, sim::Time hold, std::uint32_t owner,
+                    sim::Time bounce) {
+    if (owner != last_owner_ && last_owner_ != kNoOwner) hold += bounce;
+    last_owner_ = owner;
+    return line_.reserve(now, hold);
+  }
+  sim::Time free_at() const { return line_.free_at(); }
+  void reset() {
+    line_.reset();
+    last_owner_ = kNoOwner;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoOwner = static_cast<std::uint32_t>(-1);
+  sim::Timeline line_;
+  std::uint32_t last_owner_ = kNoOwner;
+};
+
+/// Outcome of a hardware data stream: when the requester could start, when
+/// the data had fully moved.
+struct StreamResult {
+  sim::Slot slot;
+  std::uint64_t bytes = 0;
+};
+
+class HwState {
+ public:
+  explicit HwState(const topo::Topology& topo) : topo_(topo) {
+    dram_.reserve(topo.num_nodes());
+    for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+      const auto& spec = topo.node_spec(n);
+      dram_.emplace_back(spec.dram_bytes_per_us, 0);
+    }
+    links_.reserve(topo.num_links());
+    for (topo::LinkId l = 0; l < topo.num_links(); ++l) {
+      links_.emplace_back(topo.link_spec(l).bytes_per_us, 0);
+    }
+  }
+
+  /// Stream `bytes` between DRAM on `mem_node` and a core on `core_node`,
+  /// rate-capped at `max_rate` bytes/us (the requester's engine: a core's
+  /// load unit, the kernel copy loop, an SSE memcpy...). Reserves the DRAM
+  /// controller and every HT link on the route for their own service times
+  /// (simultaneous resource possession). Returns the requester-visible slot:
+  /// finish covers the slowest of requester time and resource service.
+  sim::Slot stream(sim::Time now, topo::NodeId core_node, topo::NodeId mem_node,
+                   std::uint64_t bytes, double max_rate);
+
+  /// Copy `bytes` from DRAM on `from` to DRAM on `to` (page migration /
+  /// memcpy between buffers): both controllers plus the route are busy.
+  sim::Slot copy(sim::Time now, topo::NodeId from, topo::NodeId to,
+                 std::uint64_t bytes, double engine_rate);
+
+  sim::BandwidthResource& dram(topo::NodeId n) { return dram_[n]; }
+  sim::BandwidthResource& link(topo::LinkId l) { return links_[l]; }
+  const topo::Topology& topo() const { return topo_; }
+
+  /// Effective uncontended streaming rate (bytes/us) between a core on
+  /// `core_node` and memory on `mem_node`: the per-hop latency penalty lowers
+  /// a single stream's sustainable bandwidth (this realizes the NUMA factor).
+  double path_rate(topo::NodeId core_node, topo::NodeId mem_node,
+                   double engine_rate) const;
+
+ private:
+  const topo::Topology& topo_;
+  std::vector<sim::BandwidthResource> dram_;
+  std::vector<sim::BandwidthResource> links_;
+};
+
+}  // namespace numasim::kern

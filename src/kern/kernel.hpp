@@ -1,0 +1,364 @@
+// The simulated Linux memory-management kernel.
+//
+// This is the heart of the reproduction: it implements, over the simulated
+// hardware, the exact mechanisms the paper studies —
+//   * move_pages(2) in both its pre-patch (quadratic) and patched (linear)
+//     forms (paper Sec. 3.1),
+//   * migrate_pages(2) whole-process migration,
+//   * mprotect + SIGSEGV delivery, enabling the user-space next-touch of
+//     Fig. 1,
+//   * madvise(MADV_MIGRATE_ON_NEXT_TOUCH) + fault-path migration, the
+//     kernel next-touch of Fig. 2,
+//   * first-touch / bind / interleave / preferred memory policies,
+//   * page-table-lock and mmap_sem contention, TLB shootdowns.
+//
+// Every operation takes a ThreadCtx, advances its clock by the modelled
+// cost, and attributes the time to a CostKind (this instrumentation is what
+// regenerates the Fig. 6 breakdowns). Long operations expose batched
+// "chunk" variants so the runtime can interleave concurrent threads at
+// realistic lock granularity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kern/cost_model.hpp"
+#include "kern/errno.hpp"
+#include "kern/event_log.hpp"
+#include "kern/hw_state.hpp"
+#include "kern/replication.hpp"
+#include "mem/phys.hpp"
+#include "sim/stats.hpp"
+#include "topo/topology.hpp"
+#include "vm/address_space.hpp"
+
+namespace numasim::kern {
+
+using Pid = std::uint32_t;
+using ThreadId = std::uint32_t;
+
+/// Execution context of one simulated thread, threaded through every kernel
+/// entry point. The runtime owns it and awaits `clock` after each call.
+struct ThreadCtx {
+  ThreadId tid = 0;
+  Pid pid = 0;
+  topo::CoreId core = 0;
+  sim::Time clock = 0;
+  sim::CostStats stats;
+  unsigned signal_depth = 0;  ///< >0 while running inside a SIGSEGV handler
+};
+
+/// Information passed to a registered SIGSEGV handler.
+struct SigInfo {
+  vm::Vaddr fault_addr = 0;
+  vm::Prot attempted = vm::Prot::kRead;
+};
+
+/// A process-wide SIGSEGV handler; runs synchronously in the faulting
+/// thread's context and may issue further syscalls (as the user-space
+/// next-touch library does).
+using SegvHandler = std::function<void(ThreadCtx&, const SigInfo&)>;
+
+enum class Advice : std::uint8_t {
+  kNormal,
+  kWillNeed,
+  kDontNeed,
+  /// The paper's new advice: migrate each page to whichever node next
+  /// touches it.
+  kMigrateOnNextTouch,
+  /// Extension (the paper's future work): serve reads from per-node
+  /// replicas; the first write collapses them.
+  kReplicate,
+};
+
+enum class MovePagesImpl : std::uint8_t {
+  kQuadratic,  ///< Linux <= 2.6.28: per-page linear scan of the request array
+  kLinear,     ///< the paper's patch (merged in 2.6.29)
+};
+
+/// Result of an access() call (MMU emulation).
+struct AccessResult {
+  std::uint64_t pages = 0;
+  std::uint64_t minor_faults = 0;      ///< first-touch allocations
+  std::uint64_t nexttouch_migrations = 0;
+  std::uint64_t nexttouch_hits_local = 0;  ///< NT-marked but already local
+  std::uint64_t sigsegv_delivered = 0;
+};
+
+/// Machine-wide counters (diagnostics, tests, numa_maps-style reports).
+struct KernelStats {
+  std::uint64_t minor_faults = 0;
+  std::uint64_t protection_faults = 0;
+  std::uint64_t nexttouch_faults = 0;
+  std::uint64_t pages_migrated_move = 0;
+  std::uint64_t pages_migrated_process = 0;
+  std::uint64_t pages_migrated_nexttouch = 0;
+  std::uint64_t tlb_shootdowns = 0;
+  std::uint64_t signals_delivered = 0;
+  std::uint64_t replica_pages = 0;
+  std::uint64_t replica_collapses = 0;
+};
+
+class Kernel {
+ public:
+  Kernel(const topo::Topology& topo, mem::Backing backing,
+         CostModel cost = {}, std::uint64_t max_frames_per_node = 0);
+
+  const topo::Topology& topo() const { return topo_; }
+  const CostModel& cost() const { return cost_; }
+  CostModel& cost_mutable() { return cost_; }
+  HwState& hw() { return hw_; }
+  mem::PhysMem& phys() { return phys_; }
+  const KernelStats& stats() const { return kstats_; }
+
+  /// Selects which move_pages implementation sys_move_pages uses.
+  void set_move_pages_impl(MovePagesImpl impl) { move_impl_ = impl; }
+  MovePagesImpl move_pages_impl() const { return move_impl_; }
+
+  /// Extension toggle: replicate read-only pages on remote read faults.
+  void set_replication_enabled(bool on) { replication_ = on; }
+  bool replication_enabled() const { return replication_; }
+
+  /// Attach/detach an event trace (nullptr = off; not owned).
+  void set_event_log(EventLog* log) { elog_ = log; }
+  EventLog* event_log() { return elog_; }
+
+  // --- process management ----------------------------------------------------
+  Pid create_process(std::string name = {});
+  vm::AddressSpace& address_space(Pid pid) { return proc(pid).as; }
+  void set_sigsegv_handler(Pid pid, SegvHandler handler);
+  void set_task_policy(Pid pid, const vm::MemPolicy& pol);
+
+  // --- memory-management system calls -----------------------------------------
+  /// mmap(MAP_PRIVATE|MAP_ANONYMOUS): lazily populated per `policy`.
+  /// `huge` = MAP_HUGETLB: 2 MiB pages, populated block-wise; migration of
+  /// huge pages is unsupported (as in Linux at the paper's time).
+  vm::Vaddr sys_mmap(ThreadCtx& t, std::uint64_t len, vm::Prot prot,
+                     const vm::MemPolicy& policy = {}, std::string name = {},
+                     bool huge = false);
+  int sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len);
+  int sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len, vm::Prot prot,
+                   sim::CostKind attribute = sim::CostKind::kMprotectMark);
+  int sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len, Advice advice);
+  /// mbind(2). With `move_existing` (MPOL_MF_MOVE), pages already present
+  /// that violate the new policy are migrated to comply.
+  int sys_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                const vm::MemPolicy& policy, bool move_existing = false);
+  int sys_set_mempolicy(ThreadCtx& t, const vm::MemPolicy& policy);
+  int sys_get_mempolicy(ThreadCtx& t, vm::MemPolicy& out);
+  int sys_getcpu(ThreadCtx& t, topo::CoreId* core, topo::NodeId* node);
+
+  /// move_pages(2). `nodes` empty => query-only mode (status = current node).
+  /// Returns 0 or -errno; per-page results land in `status` (node id or
+  /// negative errno per page).
+  long sys_move_pages(ThreadCtx& t, std::span<const vm::Vaddr> pages,
+                      std::span<const topo::NodeId> nodes, std::span<int> status);
+
+  /// migrate_pages(2): move every page of `target` on a node in `from` to the
+  /// corresponding slot in `to`. Returns number of pages migrated or -errno.
+  long sys_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
+                         topo::NodeMask to);
+
+  /// A contiguous migration request for the range-based interface.
+  struct MoveRange {
+    vm::Vaddr addr = 0;
+    std::uint64_t len = 0;
+    topo::NodeId node = 0;
+  };
+
+  /// The paper's proposed interface improvement (Sec. 6: "improving the
+  /// LINUX migration system call interface to reduce the move_pages
+  /// overhead"): one call migrates whole ranges. The kernel walks pages
+  /// sequentially (no per-page virtual-address lookup, no status array),
+  /// so the per-page control cost drops and the base cost amortizes over
+  /// all ranges. Returns pages migrated or -errno.
+  long sys_move_pages_ranged(ThreadCtx& t, std::span<const MoveRange> ranges);
+
+  // --- batched lower-level entry points (used by the runtime so concurrent
+  // --- threads interleave at realistic lock granularity) ----------------------
+  /// Charge the fixed move_pages entry cost (mmap_sem etc.). Call once.
+  void move_pages_enter(ThreadCtx& t, std::size_t total_pages);
+  /// Process up to `chunk.size()` pages. Same per-page semantics as the
+  /// full syscall. `request_total` = full request size (the unpatched
+  /// implementation's scan cost depends on it).
+  void move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
+                        std::span<const topo::NodeId> nodes, std::span<int> status,
+                        std::size_t request_total);
+
+  // --- MMU emulation ------------------------------------------------------------
+  /// Touch [addr, addr+len): page-faults fire exactly as on real hardware
+  /// (first-touch placement, next-touch migration, SIGSEGV delivery).
+  /// Memory traffic for already-mapped pages is charged at `stream_rate`
+  /// bytes/us if nonzero (0 = only fault handling, no data-plane charge —
+  /// used when a cache model above accounts for the traffic itself).
+  AccessResult access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                      vm::Prot want, double stream_rate_bytes_per_us);
+
+  /// Strided touch for blocked matrix kernels: `rows` segments of
+  /// `row_bytes` at base, base+stride, ... Faults are handled per page
+  /// exactly as in access(); the data-plane traffic is aggregated per source
+  /// node and charged in bulk, scaled by `traffic_scale` (a cache model
+  /// above uses >1 for out-of-cache traffic amplification). One engine
+  /// event regardless of size, so million-page tiles stay simulable.
+  /// When `bytes_by_node` is non-null it is resized to num_nodes and filled
+  /// with the touched bytes per holding node; pass stream_rate 0 in that
+  /// case and charge the traffic yourself (e.g. in slices, via
+  /// charge_stream) so concurrent threads interleave fairly.
+  AccessResult access_strided(ThreadCtx& t, vm::Vaddr base, std::uint64_t rows,
+                              std::uint64_t row_bytes, std::uint64_t stride_bytes,
+                              vm::Prot want, double stream_rate_bytes_per_us,
+                              double traffic_scale = 1.0,
+                              std::vector<std::uint64_t>* bytes_by_node = nullptr);
+
+  /// Charge one data stream of `bytes` between the calling core and
+  /// `mem_node` at `rate` bytes/us (plus one access latency), advancing the
+  /// thread clock. Building block for layered traffic models.
+  void charge_stream(ThreadCtx& t, topo::NodeId mem_node, std::uint64_t bytes,
+                     double rate);
+
+  /// Convenience: access + actually move bytes when frames are materialized.
+  int read_bytes(ThreadCtx& t, vm::Vaddr addr, std::span<std::byte> out);
+  int write_bytes(ThreadCtx& t, vm::Vaddr addr, std::span<const std::byte> in);
+
+  /// User-space memcpy between two mapped ranges of the same process:
+  /// faults pages in, charges the SSE copy rate, copies real bytes when
+  /// materialized. (The Fig. 4 "memcpy" baseline.)
+  int user_memcpy(ThreadCtx& t, vm::Vaddr dst, vm::Vaddr src, std::uint64_t len);
+
+  // --- timing-free inspection (tests, verification harnesses) -------------------
+  /// Node currently holding the page, or kInvalidNode if not present.
+  topo::NodeId page_node(Pid pid, vm::Vaddr addr) const;
+  /// Copy bytes out without any timing or fault side effects. False when the
+  /// range is not fully present or not materialized.
+  bool peek(Pid pid, vm::Vaddr addr, std::span<std::byte> out) const;
+  bool poke(Pid pid, vm::Vaddr addr, std::span<const std::byte> in);
+  /// Total replica pages currently alive for `pid` (extension feature).
+  std::uint64_t replica_pages(Pid pid) const { return proc(pid).replicas.total_replicas(); }
+
+  /// Count of present pages in range whose frame lives on `node`.
+  std::uint64_t pages_on_node(Pid pid, vm::Vaddr addr, std::uint64_t len,
+                              topo::NodeId node) const;
+  /// numa_maps-style text report for a process.
+  std::string numa_maps(Pid pid) const;
+
+  /// Consistency audit for tests and fuzzing: every present PTE references a
+  /// live frame, every replica frame is live and distinct from its home,
+  /// and the per-node used-frame counts equal what the page tables +
+  /// replica tables reference. Throws std::logic_error on violation.
+  void validate(Pid pid) const;
+
+  /// Per-node used/free frame summary (numactl --hardware style).
+  std::string meminfo() const;
+
+ private:
+  struct Process {
+    Pid pid = 0;
+    std::string name;
+    vm::AddressSpace as;
+    vm::MemPolicy task_policy;  // set_mempolicy default for new VMAs
+    SegvHandler segv;
+    OwnedTimeline mmap_lock;
+    OwnedTimeline pt_lock;
+    sim::Timeline migration_pipeline;
+    ReplicaTable replicas;
+  };
+
+  Process& proc(Pid pid);
+  const Process& proc(Pid pid) const;
+
+  /// Accumulates page-copy traffic per (from, to) node pair so a batch of
+  /// migrations reserves the copy hardware once, not once per page — the
+  /// same coalescing the stream charging does. Keeps concurrent migrating
+  /// threads overlapping at realistic granularity.
+  struct CopyBatch {
+    struct Run {
+      topo::NodeId from;
+      topo::NodeId to;
+      std::uint64_t bytes;
+    };
+    std::vector<Run> runs;
+    void add(topo::NodeId from, topo::NodeId to, std::uint64_t bytes) {
+      if (!runs.empty() && runs.back().from == from && runs.back().to == to) {
+        runs.back().bytes += bytes;
+      } else {
+        runs.push_back({from, to, bytes});
+      }
+    }
+  };
+
+  /// Charge the accumulated copies of a batch (kind = copy attribution).
+  void flush_copy_batch(ThreadCtx& t, CopyBatch& batch, sim::CostKind kind);
+
+  /// Page-fault entry point. Returns true if the access should be retried.
+  /// When `copies` is non-null, migration copy traffic is deferred into it.
+  bool handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr, vm::Prot want,
+                    AccessResult& res, CopyBatch* copies);
+
+  /// For a read of a kReplica page: the node whose copy serves `reader`,
+  /// creating the reader-local replica (charged) on first use.
+  topo::NodeId resolve_replica(ThreadCtx& t, Process& p, vm::Pte& pte, vm::Vpn vpn,
+                               topo::NodeId reader, CopyBatch* copies);
+
+  /// Write to a replicated page: free every replica, keep one frame on the
+  /// writer's node, restore write permission.
+  void collapse_replicas(ThreadCtx& t, Process& p, vm::Pte& pte, vm::Vpn vpn,
+                         topo::NodeId writer);
+
+  /// Allocate + map a never-touched page per policy (first touch).
+  void populate_page(ThreadCtx& t, Process& p, const vm::Vma& vma, vm::Vpn vpn,
+                     vm::Pte& pte);
+
+  /// Huge mapping fault: populate the whole 2 MiB block around `vpn` with
+  /// one fault (one TLB entry, one zero-fill of 2 MiB).
+  void populate_huge_block(ThreadCtx& t, Process& p, const vm::Vma& vma,
+                           vm::Vpn vpn);
+
+  /// Migrate one present page to `target`; frees the old frame. Charges
+  /// `control_kind`; the copy goes to `copies` if given, else is charged
+  /// inline as `copy_kind`. Returns false if allocation failed.
+  bool migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte, topo::NodeId target,
+                    sim::Time control_cost, sim::CostKind control_kind,
+                    sim::CostKind copy_kind, CopyBatch* copies);
+
+  /// Serialize a batch of `pages` migrations on the process migration
+  /// pipeline (the cross-thread critical sections): reserves
+  /// pages*per_page starting at `entry` and extends the thread clock to the
+  /// grant's end if the pipeline is backed up. A single migrating thread is
+  /// never extended.
+  void serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
+                           std::uint64_t pages, sim::Time per_page);
+
+  void deliver_sigsegv(ThreadCtx& t, Process& p, const SigInfo& info,
+                       AccessResult& res);
+
+  void charge(ThreadCtx& t, sim::Time dur, sim::CostKind kind) {
+    t.clock += dur;
+    t.stats.add(kind, dur);
+  }
+
+  void trace(const ThreadCtx& t, EventType type, vm::Vpn vpn, std::uint64_t pages,
+             topo::NodeId from = topo::kInvalidNode,
+             topo::NodeId to = topo::kInvalidNode) {
+    if (elog_ != nullptr) elog_->record({t.clock, t.tid, type, vpn, pages, from, to});
+  }
+
+  /// Reserve the process page-table lock; charges wait as kLockWait and the
+  /// hold as `kind`.
+  void with_pt_lock(ThreadCtx& t, Process& p, sim::Time hold, sim::CostKind kind);
+
+  const topo::Topology& topo_;
+  CostModel cost_;
+  HwState hw_;
+  mem::PhysMem phys_;
+  MovePagesImpl move_impl_ = MovePagesImpl::kLinear;
+  bool replication_ = false;
+  EventLog* elog_ = nullptr;
+  std::vector<std::unique_ptr<Process>> procs_;
+  KernelStats kstats_;
+};
+
+}  // namespace numasim::kern

@@ -1,0 +1,634 @@
+// Kernel core: process management, the MMU emulation (access / faults),
+// page population and migration primitives, and timing-free inspection.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+#include "kern/kernel.hpp"
+
+namespace numasim::kern {
+
+namespace {
+constexpr unsigned kMaxFaultRetries = 8;
+}
+
+Kernel::Kernel(const topo::Topology& topo, mem::Backing backing, CostModel cost,
+               std::uint64_t max_frames_per_node)
+    : topo_(topo), cost_(cost), hw_(topo), phys_(topo, backing, max_frames_per_node) {}
+
+Pid Kernel::create_process(std::string name) {
+  auto p = std::make_unique<Process>();
+  p->pid = static_cast<Pid>(procs_.size());
+  p->name = std::move(name);
+  p->replicas.set_num_nodes(topo_.num_nodes());
+  procs_.push_back(std::move(p));
+  return procs_.back()->pid;
+}
+
+Kernel::Process& Kernel::proc(Pid pid) {
+  if (pid >= procs_.size()) throw std::out_of_range{"Kernel: bad pid"};
+  return *procs_[pid];
+}
+
+const Kernel::Process& Kernel::proc(Pid pid) const {
+  if (pid >= procs_.size()) throw std::out_of_range{"Kernel: bad pid"};
+  return *procs_[pid];
+}
+
+void Kernel::set_sigsegv_handler(Pid pid, SegvHandler handler) {
+  proc(pid).segv = std::move(handler);
+}
+
+void Kernel::set_task_policy(Pid pid, const vm::MemPolicy& pol) {
+  proc(pid).task_policy = pol;
+}
+
+void Kernel::with_pt_lock(ThreadCtx& t, Process& p, sim::Time hold,
+                          sim::CostKind kind) {
+  const sim::Slot slot = p.pt_lock.reserve(t.clock, hold, t.core, cost_.lock_bounce);
+  const sim::Time wait = slot.start - t.clock;
+  if (wait > 0) t.stats.add(sim::CostKind::kLockWait, wait);
+  t.stats.add(kind, slot.finish - slot.start);
+  t.clock = slot.finish;
+}
+
+void Kernel::populate_page(ThreadCtx& t, Process& p, const vm::Vma& vma,
+                           vm::Vpn vpn, vm::Pte& pte) {
+  const topo::NodeId local = topo_.node_of_core(t.core);
+  const vm::MemPolicy& eff =
+      vma.policy.mode != vm::PolicyMode::kDefault ? vma.policy : p.task_policy;
+  topo::NodeId target = eff.target_node(vma.pgoff(vpn), local, topo_.num_nodes());
+  if (target == topo::kInvalidNode) target = local;
+
+  const mem::FrameId frame = phys_.alloc_near(target);
+  if (frame == mem::kInvalidFrame) throw std::runtime_error{"simulated OOM"};
+
+  // Allocation + zero-fill through the target node's DRAM.
+  charge(t, cost_.page_alloc + cost_.pte_update, sim::CostKind::kAllocZero);
+  const sim::Slot z = hw_.stream(t.clock, topo_.node_of_core(t.core),
+                                 phys_.node_of(frame), mem::kPageSize,
+                                 cost_.zero_rate_bytes_per_us);
+  t.stats.add(sim::CostKind::kAllocZero, z.finish - t.clock);
+  t.clock = z.finish;
+
+  if (std::byte* d = phys_.data(frame)) std::memset(d, 0, mem::kPageSize);
+
+  pte.frame = frame;
+  pte.flags = vm::Pte::kPresent | vm::Pte::kAccessed;
+  if (prot_allows(vma.prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
+  if (prot_allows(vma.prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+  ++kstats_.minor_faults;
+  trace(t, EventType::kMinorFault, vpn, 1, topo::kInvalidNode, phys_.node_of(frame));
+}
+
+void Kernel::serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
+                                 std::uint64_t pages, sim::Time per_page) {
+  if (pages == 0) return;
+  const sim::Slot slot = p.migration_pipeline.reserve(entry, pages * per_page);
+  if (slot.finish > t.clock) {
+    t.stats.add(sim::CostKind::kLockWait, slot.finish - t.clock);
+    t.clock = slot.finish;
+  }
+}
+
+void Kernel::flush_copy_batch(ThreadCtx& t, CopyBatch& batch, sim::CostKind kind) {
+  for (const CopyBatch::Run& r : batch.runs) {
+    const sim::Slot c =
+        hw_.copy(t.clock, r.from, r.to, r.bytes, cost_.kernel_copy_bytes_per_us);
+    t.stats.add(kind, c.finish - t.clock);
+    t.clock = c.finish;
+  }
+  batch.runs.clear();
+}
+
+bool Kernel::migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte,
+                          topo::NodeId target, sim::Time control_cost,
+                          sim::CostKind control_kind, sim::CostKind copy_kind,
+                          CopyBatch* copies) {
+  (void)p;
+  const mem::FrameId old_frame = pte.frame;
+  const topo::NodeId from = phys_.node_of(old_frame);
+  const mem::FrameId new_frame = phys_.alloc_near(target);
+  if (new_frame == mem::kInvalidFrame) return false;
+
+  // Control path: isolation, PTE rewrite, local flush. The cross-thread
+  // serialization is applied per batch via serialize_migration().
+  charge(t, control_cost, control_kind);
+
+  const topo::NodeId to = phys_.node_of(new_frame);
+  if (copies != nullptr) {
+    copies->add(from, to, mem::kPageSize);
+  } else {
+    const sim::Slot c =
+        hw_.copy(t.clock, from, to, mem::kPageSize, cost_.kernel_copy_bytes_per_us);
+    t.stats.add(copy_kind, c.finish - t.clock);
+    t.clock = c.finish;
+  }
+
+  if (std::byte* dst = phys_.data(new_frame)) {
+    if (const std::byte* src = phys_.data(old_frame))
+      std::memcpy(dst, src, mem::kPageSize);
+  }
+  phys_.free(old_frame);
+  pte.frame = new_frame;
+  return true;
+}
+
+void Kernel::populate_huge_block(ThreadCtx& t, Process& p, const vm::Vma& vma,
+                                 vm::Vpn vpn) {
+  constexpr std::uint64_t kHugePages = (2ull << 20) >> mem::kPageShift;
+  const vm::Vpn block = vpn & ~(kHugePages - 1);
+  const topo::NodeId local = topo_.node_of_core(t.core);
+  const vm::MemPolicy& eff =
+      vma.policy.mode != vm::PolicyMode::kDefault ? vma.policy : p.task_policy;
+  topo::NodeId target = eff.target_node(vma.pgoff(block), local, topo_.num_nodes());
+  if (target == topo::kInvalidNode) target = local;
+
+  // One fault maps the whole block: one PTE-level update, one 2 MiB
+  // zero-fill, one allocation episode (the huge frame).
+  charge(t, cost_.page_alloc + cost_.pte_update, sim::CostKind::kAllocZero);
+  const sim::Slot z = hw_.stream(t.clock, local, target, 2ull << 20,
+                                 cost_.zero_rate_bytes_per_us);
+  t.stats.add(sim::CostKind::kAllocZero, z.finish - t.clock);
+  t.clock = z.finish;
+
+  for (vm::Vpn v = block; v < block + kHugePages; ++v) {
+    vm::Pte& pte = p.as.page_table().ensure(v);
+    if (pte.present()) continue;
+    const mem::FrameId f = phys_.alloc_near(target);
+    if (f == mem::kInvalidFrame) throw std::runtime_error{"simulated OOM (huge)"};
+    if (std::byte* d = phys_.data(f)) std::memset(d, 0, mem::kPageSize);
+    pte.frame = f;
+    pte.flags = vm::Pte::kPresent | vm::Pte::kAccessed | vm::Pte::kHuge;
+    if (prot_allows(vma.prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
+    if (prot_allows(vma.prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+  }
+  ++kstats_.minor_faults;
+}
+
+topo::NodeId Kernel::resolve_replica(ThreadCtx& t, Process& p, vm::Pte& pte,
+                                     vm::Vpn vpn, topo::NodeId reader,
+                                     CopyBatch* copies) {
+  const topo::NodeId home = phys_.node_of(pte.frame);
+  if (reader == home) return home;
+  const mem::FrameId existing = p.replicas.replica_on(vpn, reader);
+  if (existing != mem::kInvalidFrame) return reader;
+
+  // First read from this node: create the local replica (alloc + copy from
+  // the home page; cheap bookkeeping, like a COW fault without the write).
+  const mem::FrameId f = phys_.alloc_on(reader);
+  if (f == mem::kInvalidFrame) return home;  // node full: keep reading remote
+  charge(t, cost_.page_alloc + cost_.replica_control, sim::CostKind::kReplicaControl);
+  if (copies != nullptr) {
+    copies->add(home, reader, mem::kPageSize);
+  } else {
+    const sim::Slot c =
+        hw_.copy(t.clock, home, reader, mem::kPageSize, cost_.kernel_copy_bytes_per_us);
+    t.stats.add(sim::CostKind::kReplicaCopy, c.finish - t.clock);
+    t.clock = c.finish;
+  }
+  if (std::byte* dst = phys_.data(f)) {
+    if (const std::byte* src = phys_.data(pte.frame))
+      std::memcpy(dst, src, mem::kPageSize);
+  }
+  p.replicas.add(vpn, reader, f);
+  ++kstats_.replica_pages;
+  trace(t, EventType::kReplicaCreate, vpn, 1, home, reader);
+  return reader;
+}
+
+void Kernel::collapse_replicas(ThreadCtx& t, Process& p, vm::Pte& pte, vm::Vpn vpn,
+                               topo::NodeId writer) {
+  const std::vector<mem::FrameId> frames = p.replicas.take(vpn);
+  for (mem::FrameId f : frames) {
+    charge(t, cost_.page_free + cost_.replica_control, sim::CostKind::kReplicaControl);
+    phys_.free(f);
+  }
+  // Home page moves to the writer if it is elsewhere (write locality).
+  if (phys_.node_of(pte.frame) != writer) {
+    migrate_page(t, p, pte, writer, cost_.nt_fault_control,
+                 sim::CostKind::kReplicaControl, sim::CostKind::kReplicaCopy,
+                 nullptr);
+  }
+  charge(t, cost_.tlb_shootdown(topo_.num_cores()), sim::CostKind::kTlbShootdown);
+  ++kstats_.tlb_shootdowns;
+  ++kstats_.replica_collapses;
+  trace(t, EventType::kReplicaCollapse, vpn, frames.size(), topo::kInvalidNode, writer);
+  pte.clear(vm::Pte::kReplica);
+  pte.set(vm::Pte::kHwWrite | vm::Pte::kHwRead);
+}
+
+void Kernel::deliver_sigsegv(ThreadCtx& t, Process& p, const SigInfo& info,
+                             AccessResult& res) {
+  if (!p.segv || t.signal_depth > 0) throw SegfaultError{info.fault_addr};
+  charge(t, cost_.signal_delivery, sim::CostKind::kSignalDelivery);
+  ++kstats_.signals_delivered;
+  ++res.sigsegv_delivered;
+  trace(t, EventType::kSigsegv, vm::vpn_of(info.fault_addr), 1);
+  ++t.signal_depth;
+  p.segv(t, info);
+  --t.signal_depth;
+  charge(t, cost_.sigreturn, sim::CostKind::kSignalDelivery);
+}
+
+bool Kernel::handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr, vm::Prot want,
+                          AccessResult& res, CopyBatch* copies) {
+  charge(t, cost_.pagefault_entry, sim::CostKind::kPageFault);
+
+  vm::Vma* vma = p.as.find(addr);
+  if (vma == nullptr || !prot_allows(vma->prot, want)) {
+    ++kstats_.protection_faults;
+    deliver_sigsegv(t, p, SigInfo{addr, want}, res);
+    return true;  // retry: the handler may have repaired the mapping
+  }
+
+  vm::Pte& pte = p.as.page_table().ensure(vm::vpn_of(addr));
+  if (!pte.present()) {
+    if (vma->huge) {
+      populate_huge_block(t, p, *vma, vm::vpn_of(addr));
+    } else {
+      populate_page(t, p, *vma, vm::vpn_of(addr), pte);
+    }
+    ++res.minor_faults;
+    return false;
+  }
+
+  if (pte.flags & vm::Pte::kReplica) {
+    charge(t, cost_.pte_update, sim::CostKind::kReplicaControl);
+    if (prot_allows(want, vm::Prot::kWrite)) {
+      collapse_replicas(t, p, pte, vm::vpn_of(addr), topo_.node_of_core(t.core));
+    } else {
+      // First read after arming: restore the read bit; per-node replicas are
+      // materialized lazily by the access fast path.
+      resolve_replica(t, p, pte, vm::vpn_of(addr), topo_.node_of_core(t.core), copies);
+      pte.set(vm::Pte::kHwRead);
+    }
+    return false;
+  }
+
+  if (pte.next_touch()) {
+    ++kstats_.nexttouch_faults;
+    const topo::NodeId local = topo_.node_of_core(t.core);
+    if (phys_.node_of(pte.frame) != local) {
+      const topo::NodeId was = phys_.node_of(pte.frame);
+      if (migrate_page(t, p, pte, local, cost_.nt_fault_control,
+                       sim::CostKind::kNextTouchControl,
+                       sim::CostKind::kNextTouchCopy, copies)) {
+        ++res.nexttouch_migrations;
+        ++kstats_.pages_migrated_nexttouch;
+        trace(t, EventType::kNextTouchMigrate, vm::vpn_of(addr), 1, was, local);
+      }
+    } else {
+      // Already local: just rearm the permissions.
+      charge(t, cost_.pte_update + cost_.tlb_flush_local,
+             sim::CostKind::kNextTouchControl);
+      ++res.nexttouch_hits_local;
+    }
+    pte.clear(vm::Pte::kNextTouch);
+    pte.set(vm::Pte::kAccessed);
+    if (prot_allows(vma->prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
+    if (prot_allows(vma->prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+    return false;
+  }
+
+  // Present, VMA permits, but hardware bits are narrower (e.g. after an
+  // mprotect widening): re-derive them from the VMA.
+  charge(t, cost_.pte_update + cost_.tlb_flush_local, sim::CostKind::kPageFault);
+  if (prot_allows(vma->prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
+  if (prot_allows(vma->prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+  return false;
+}
+
+AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                            vm::Prot want, double stream_rate_bytes_per_us) {
+  AccessResult res;
+  if (len == 0) return res;
+  Process& p = proc(t.pid);
+  vm::PageTable& pt = p.as.page_table();
+  const topo::NodeId core_node = topo_.node_of_core(t.core);
+  const sim::Time entry = t.clock;
+  CopyBatch copies;
+
+  const vm::Vaddr end = addr + len;
+  vm::Vpn vpn = vm::vpn_of(addr);
+  const vm::Vpn vpn_end = vm::vpn_of(end - 1) + 1;
+
+  // Contiguous same-node runs are charged as one stream.
+  topo::NodeId run_node = topo::kInvalidNode;
+  std::uint64_t run_bytes = 0;
+  auto flush_run = [&] {
+    if (run_bytes == 0 || stream_rate_bytes_per_us <= 0.0) {
+      run_bytes = 0;
+      return;
+    }
+    const sim::Slot s = hw_.stream(t.clock, core_node, run_node, run_bytes,
+                                   stream_rate_bytes_per_us);
+    const sim::Time lat = topo_.access_latency(core_node, run_node);
+    t.stats.add(sim::CostKind::kMemAccess, s.finish + lat - t.clock);
+    t.clock = s.finish + lat;
+    run_bytes = 0;
+  };
+
+  for (; vpn < vpn_end; ++vpn) {
+    const vm::Vaddr page_start = vm::addr_of(vpn);
+    const vm::Vaddr lo = std::max(addr, page_start);
+    const vm::Vaddr hi = std::min(end, page_start + mem::kPageSize);
+
+    vm::Pte* pte = pt.find(vpn);
+    unsigned retries = 0;
+    while (pte == nullptr || !pte->hw_allows(want)) {
+      flush_run();
+      if (++retries > kMaxFaultRetries) throw SegfaultError{lo};
+      handle_fault(t, p, lo, want, res, &copies);
+      pte = pt.find(vpn);
+    }
+    if (prot_allows(want, vm::Prot::kWrite)) pte->set(vm::Pte::kDirty);
+
+    topo::NodeId node = phys_.node_of(pte->frame);
+    if ((pte->flags & vm::Pte::kReplica) && !prot_allows(want, vm::Prot::kWrite))
+      node = resolve_replica(t, p, *pte, vpn, core_node, &copies);
+    if (node != run_node) flush_run();
+    run_node = node;
+    run_bytes += hi - lo;
+    ++res.pages;
+  }
+  flush_run();
+  flush_copy_batch(t, copies, sim::CostKind::kNextTouchCopy);
+  serialize_migration(t, p, entry, res.nexttouch_migrations,
+                      cost_.nt_serial_per_page);
+  return res;
+}
+
+void Kernel::charge_stream(ThreadCtx& t, topo::NodeId mem_node,
+                           std::uint64_t bytes, double rate) {
+  const topo::NodeId core_node = topo_.node_of_core(t.core);
+  const sim::Slot s = hw_.stream(t.clock, core_node, mem_node, bytes, rate);
+  const sim::Time lat = topo_.access_latency(core_node, mem_node);
+  t.stats.add(sim::CostKind::kMemAccess, s.finish + lat - t.clock);
+  t.clock = s.finish + lat;
+}
+
+AccessResult Kernel::access_strided(ThreadCtx& t, vm::Vaddr base,
+                                    std::uint64_t rows, std::uint64_t row_bytes,
+                                    std::uint64_t stride_bytes, vm::Prot want,
+                                    double stream_rate_bytes_per_us,
+                                    double traffic_scale,
+                                    std::vector<std::uint64_t>* bytes_by_node) {
+  AccessResult res;
+  if (rows == 0 || row_bytes == 0) return res;
+  Process& p = proc(t.pid);
+  vm::PageTable& pt = p.as.page_table();
+  const topo::NodeId core_node = topo_.node_of_core(t.core);
+  const sim::Time entry = t.clock;
+  CopyBatch copies;
+
+  // Per-node byte buckets, charged in bulk at the end.
+  std::vector<std::uint64_t> bytes_from(topo_.num_nodes(), 0);
+
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    const vm::Vaddr row_start = base + r * stride_bytes;
+    const vm::Vaddr row_end = row_start + row_bytes;
+    for (vm::Vpn vpn = vm::vpn_of(row_start); vpn < vm::vpn_of(row_end - 1) + 1;
+         ++vpn) {
+      const vm::Vaddr page_start = vm::addr_of(vpn);
+      const vm::Vaddr lo = std::max(row_start, page_start);
+      const vm::Vaddr hi = std::min(row_end, page_start + mem::kPageSize);
+
+      vm::Pte* pte = pt.find(vpn);
+      unsigned retries = 0;
+      while (pte == nullptr || !pte->hw_allows(want)) {
+        if (++retries > kMaxFaultRetries) throw SegfaultError{lo};
+        handle_fault(t, p, lo, want, res, &copies);
+        pte = pt.find(vpn);
+      }
+      if (prot_allows(want, vm::Prot::kWrite)) pte->set(vm::Pte::kDirty);
+      topo::NodeId node = phys_.node_of(pte->frame);
+      if ((pte->flags & vm::Pte::kReplica) && !prot_allows(want, vm::Prot::kWrite))
+        node = resolve_replica(t, p, *pte, vpn, core_node, &copies);
+      bytes_from[node] += hi - lo;
+      ++res.pages;
+    }
+  }
+
+  if (bytes_by_node != nullptr) {
+    bytes_by_node->assign(topo_.num_nodes(), 0);
+    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n)
+      (*bytes_by_node)[n] = bytes_from[n];
+  }
+  if (stream_rate_bytes_per_us > 0.0) {
+    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      if (bytes_from[n] == 0) continue;
+      const auto scaled = static_cast<std::uint64_t>(
+          static_cast<double>(bytes_from[n]) * traffic_scale + 0.5);
+      charge_stream(t, n, scaled, stream_rate_bytes_per_us);
+    }
+  }
+  flush_copy_batch(t, copies, sim::CostKind::kNextTouchCopy);
+  serialize_migration(t, p, entry, res.nexttouch_migrations,
+                      cost_.nt_serial_per_page);
+  return res;
+}
+
+int Kernel::read_bytes(ThreadCtx& t, vm::Vaddr addr, std::span<std::byte> out) {
+  access(t, addr, out.size(), vm::Prot::kRead, cost_.core_stream_bytes_per_us);
+  if (!peek(t.pid, addr, out) && phys_.backing() == mem::Backing::kMaterialized)
+    return -kEFAULT;
+  return 0;
+}
+
+int Kernel::write_bytes(ThreadCtx& t, vm::Vaddr addr, std::span<const std::byte> in) {
+  access(t, addr, in.size(), vm::Prot::kWrite, cost_.core_stream_bytes_per_us);
+  if (!poke(t.pid, addr, in) && phys_.backing() == mem::Backing::kMaterialized)
+    return -kEFAULT;
+  return 0;
+}
+
+int Kernel::user_memcpy(ThreadCtx& t, vm::Vaddr dst, vm::Vaddr src,
+                        std::uint64_t len) {
+  if (len == 0) return 0;
+  Process& p = proc(t.pid);
+  if (!p.as.range_mapped(src, len) || !p.as.range_mapped(dst, len)) return -kEFAULT;
+
+  // Fault both ranges in (no data-plane charge; the copy itself is charged
+  // below at the SSE rate between the actual frame locations).
+  charge(t, cost_.user_memcpy_base, sim::CostKind::kMemAccess);
+  access(t, src, len, vm::Prot::kRead, 0.0);
+  access(t, dst, len, vm::Prot::kWrite, 0.0);
+
+  vm::PageTable& pt = p.as.page_table();
+  const vm::Vaddr end = src + len;
+  vm::Vpn svpn = vm::vpn_of(src);
+  const vm::Vpn svpn_end = vm::vpn_of(end - 1) + 1;
+
+  topo::NodeId run_from = topo::kInvalidNode;
+  topo::NodeId run_to = topo::kInvalidNode;
+  std::uint64_t run_bytes = 0;
+  auto flush = [&] {
+    if (run_bytes == 0) return;
+    const sim::Slot s =
+        hw_.copy(t.clock, run_from, run_to, run_bytes, cost_.user_copy_bytes_per_us);
+    t.stats.add(sim::CostKind::kMemAccess, s.finish - t.clock);
+    t.clock = s.finish;
+    run_bytes = 0;
+  };
+
+  for (; svpn < svpn_end; ++svpn) {
+    const vm::Vaddr page_start = vm::addr_of(svpn);
+    const vm::Vaddr lo = std::max(src, page_start);
+    const vm::Vaddr hi = std::min(end, page_start + mem::kPageSize);
+    const vm::Vaddr doff = dst + (lo - src);
+
+    const vm::Pte* spte = pt.find(svpn);
+    const vm::Pte* dpte = pt.find(vm::vpn_of(doff));
+    assert(spte != nullptr && dpte != nullptr);
+    const topo::NodeId f = phys_.node_of(spte->frame);
+    const topo::NodeId to = phys_.node_of(dpte->frame);
+    if (f != run_from || to != run_to) flush();
+    run_from = f;
+    run_to = to;
+    run_bytes += hi - lo;
+  }
+  flush();
+
+  if (phys_.backing() == mem::Backing::kMaterialized) {
+    std::vector<std::byte> tmp(len);
+    if (!peek(t.pid, src, tmp)) return -kEFAULT;
+    if (!poke(t.pid, dst, tmp)) return -kEFAULT;
+  }
+  return 0;
+}
+
+topo::NodeId Kernel::page_node(Pid pid, vm::Vaddr addr) const {
+  const vm::Pte* pte = proc(pid).as.page_table().find(vm::vpn_of(addr));
+  if (pte == nullptr || !pte->present()) return topo::kInvalidNode;
+  return phys_.node_of(pte->frame);
+}
+
+bool Kernel::peek(Pid pid, vm::Vaddr addr, std::span<std::byte> out) const {
+  const Process& p = proc(pid);
+  std::uint64_t done = 0;
+  while (done < out.size()) {
+    const vm::Vaddr a = addr + done;
+    const vm::Pte* pte = p.as.page_table().find(vm::vpn_of(a));
+    if (pte == nullptr || !pte->present()) return false;
+    const std::byte* data = phys_.data(pte->frame);
+    if (data == nullptr) return false;
+    const std::uint64_t off = a & (mem::kPageSize - 1);
+    const std::uint64_t n = std::min<std::uint64_t>(mem::kPageSize - off,
+                                                    out.size() - done);
+    std::memcpy(out.data() + done, data + off, n);
+    done += n;
+  }
+  return true;
+}
+
+bool Kernel::poke(Pid pid, vm::Vaddr addr, std::span<const std::byte> in) {
+  Process& p = proc(pid);
+  std::uint64_t done = 0;
+  while (done < in.size()) {
+    const vm::Vaddr a = addr + done;
+    const vm::Pte* pte = p.as.page_table().find(vm::vpn_of(a));
+    if (pte == nullptr || !pte->present()) return false;
+    std::byte* data = phys_.data(pte->frame);
+    if (data == nullptr) return false;
+    const std::uint64_t off = a & (mem::kPageSize - 1);
+    const std::uint64_t n = std::min<std::uint64_t>(mem::kPageSize - off,
+                                                    in.size() - done);
+    std::memcpy(data + off, in.data() + done, n);
+    done += n;
+  }
+  return true;
+}
+
+std::uint64_t Kernel::pages_on_node(Pid pid, vm::Vaddr addr, std::uint64_t len,
+                                    topo::NodeId node) const {
+  const Process& p = proc(pid);
+  std::uint64_t count = 0;
+  const vm::Vpn end = vm::vpn_of(addr + len - 1) + 1;
+  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < end; ++vpn) {
+    const vm::Pte* pte = p.as.page_table().find(vpn);
+    if (pte != nullptr && pte->present() && phys_.node_of(pte->frame) == node)
+      ++count;
+  }
+  return count;
+}
+
+void Kernel::validate(Pid pid) const {
+  const Process& p = proc(pid);
+  std::uint64_t referenced = 0;
+  p.as.for_each([&](const vm::Vma& vma) {
+    for (vm::Vpn vpn = vm::vpn_of(vma.start); vpn < vm::vpn_of(vma.end); ++vpn) {
+      const vm::Pte* pte = p.as.page_table().find(vpn);
+      if (pte == nullptr || !pte->present()) continue;
+      ++referenced;
+      if (!phys_.is_live(pte->frame))
+        throw std::logic_error{"validate: present PTE references a dead frame"};
+      if (pte->next_touch() && pte->hw_allows(vm::Prot::kRead))
+        throw std::logic_error{"validate: next-touch PTE with live hw read bit"};
+      const std::uint64_t nrep = p.replicas.replica_count(vpn);
+      if (nrep != 0 && !(pte->flags & vm::Pte::kReplica))
+        throw std::logic_error{"validate: replicas without kReplica flag"};
+      referenced += nrep;
+      for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+        const mem::FrameId rf = p.replicas.replica_on(vpn, n);
+        if (rf == mem::kInvalidFrame) continue;
+        if (!phys_.is_live(rf))
+          throw std::logic_error{"validate: replica references a dead frame"};
+        if (rf == pte->frame)
+          throw std::logic_error{"validate: replica aliases the home frame"};
+        if (phys_.node_of(rf) != n)
+          throw std::logic_error{"validate: replica on the wrong node"};
+      }
+    }
+  });
+  // Single-process kernels: everything allocated must be referenced.
+  if (procs_.size() == 1 && referenced != phys_.total_used_frames())
+    throw std::logic_error{"validate: frame leak or double-use (" +
+                           std::to_string(referenced) + " referenced vs " +
+                           std::to_string(phys_.total_used_frames()) + " used)"};
+}
+
+std::string Kernel::meminfo() const {
+  std::ostringstream os;
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const std::uint64_t cap = phys_.capacity_frames(n);
+    const std::uint64_t used = phys_.used_frames(n);
+    os << "node " << n << ": " << (cap * mem::kPageSize >> 20) << " MB total, "
+       << (used * mem::kPageSize >> 10) << " KB used, "
+       << ((cap - used) * mem::kPageSize >> 20) << " MB free\n";
+  }
+  return os.str();
+}
+
+std::string Kernel::numa_maps(Pid pid) const {
+  const Process& p = proc(pid);
+  std::ostringstream os;
+  p.as.for_each([&](const vm::Vma& vma) {
+    os << std::hex << vma.start << std::dec << " ";
+    switch (vma.policy.mode) {
+      case vm::PolicyMode::kDefault: os << "default"; break;
+      case vm::PolicyMode::kBind: os << "bind"; break;
+      case vm::PolicyMode::kInterleave: os << "interleave"; break;
+      case vm::PolicyMode::kPreferred: os << "prefer"; break;
+    }
+    std::vector<std::uint64_t> per_node(topo_.num_nodes(), 0);
+    std::uint64_t present = 0;
+    for (vm::Vpn vpn = vm::vpn_of(vma.start); vpn < vm::vpn_of(vma.end); ++vpn) {
+      const vm::Pte* pte = p.as.page_table().find(vpn);
+      if (pte != nullptr && pte->present()) {
+        ++present;
+        ++per_node[phys_.node_of(pte->frame)];
+      }
+    }
+    os << " anon=" << present;
+    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      if (per_node[n] != 0) os << " N" << n << "=" << per_node[n];
+    }
+    if (!vma.name.empty()) os << " [" << vma.name << "]";
+    os << "\n";
+  });
+  return os.str();
+}
+
+}  // namespace numasim::kern

@@ -1,0 +1,501 @@
+// The memory-management system-call surface (paper Sections 2.3 and 3).
+#include <algorithm>
+#include <cassert>
+
+#include "kern/kernel.hpp"
+
+namespace numasim::kern {
+
+namespace {
+/// Pages per page-table-lock acquisition inside a long syscall — the real
+/// kernel's pagevec/migration-list batch size.
+constexpr std::size_t kSyscallBatchPages = 64;
+}  // namespace
+
+vm::Vaddr Kernel::sys_mmap(ThreadCtx& t, std::uint64_t len, vm::Prot prot,
+                           const vm::MemPolicy& policy, std::string name,
+                           bool huge) {
+  Process& p = proc(t.pid);
+  charge(t, cost_.syscall_entry + cost_.mmap_base, sim::CostKind::kSyscallEntry);
+  return p.as.map(len, prot, policy, std::move(name), huge);
+}
+
+int Kernel::sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len) {
+  Process& p = proc(t.pid);
+  if (len == 0) return -kEINVAL;
+  charge(t, cost_.syscall_entry + cost_.munmap_base, sim::CostKind::kSyscallEntry);
+
+  // Free the frames, then drop VMAs + PTEs.
+  std::uint64_t present = 0;
+  const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
+  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
+    vm::Pte* pte = p.as.page_table().find(vpn);
+    if (pte != nullptr && pte->present()) {
+      for (mem::FrameId f : p.replicas.take(vpn)) phys_.free(f);
+      phys_.free(pte->frame);
+      ++present;
+    }
+  }
+  p.as.unmap(addr, len);
+  charge(t, cost_.munmap_page * present + cost_.tlb_shootdown(topo_.num_cores()),
+         sim::CostKind::kSyscallEntry);
+  ++kstats_.tlb_shootdowns;
+  return 0;
+}
+
+int Kernel::sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                         vm::Prot prot, sim::CostKind attribute) {
+  Process& p = proc(t.pid);
+  if (len == 0) return -kEINVAL;
+  if (!p.as.range_mapped(addr, len)) return -kENOMEM;
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+
+  // mmap_sem (write) held across the VMA surgery and PTE rewrite.
+  std::uint64_t present = 0;
+  p.as.for_range(addr, addr + len, [&](vm::Vma& vma) {
+    vma.prot = prot;
+    for (vm::Vpn vpn = vm::vpn_of(vma.start); vpn < vm::vpn_of(vma.end); ++vpn) {
+      vm::Pte* pte = p.as.page_table().find(vpn);
+      if (pte == nullptr || !pte->present()) continue;
+      ++present;
+      // An explicit protection change supersedes a pending next-touch mark,
+      // and granting write on a replicated page forces a collapse (the
+      // per-node copies would otherwise go incoherent).
+      pte->clear(vm::Pte::kNextTouch);
+      if ((pte->flags & vm::Pte::kReplica) && prot_allows(prot, vm::Prot::kWrite))
+        collapse_replicas(t, p, *pte, vpn, topo_.node_of_core(t.core));
+      pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
+      if (prot_allows(prot, vm::Prot::kRead)) pte->set(vm::Pte::kHwRead);
+      if (prot_allows(prot, vm::Prot::kWrite)) pte->set(vm::Pte::kHwWrite);
+    }
+  });
+
+  const sim::Time work = cost_.mprotect_base + cost_.mprotect_page * present +
+                         cost_.tlb_shootdown(topo_.num_cores());
+  const sim::Slot slot = p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
+  if (slot.start > t.clock) t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+  t.stats.add(attribute, slot.finish - slot.start);
+  t.clock = slot.finish;
+  ++kstats_.tlb_shootdowns;
+  return 0;
+}
+
+int Kernel::sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                        Advice advice) {
+  Process& p = proc(t.pid);
+  if (len == 0) return -kEINVAL;
+  if (!p.as.range_mapped(addr, len)) return -kENOMEM;
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+
+  switch (advice) {
+    case Advice::kNormal:
+    case Advice::kWillNeed:
+      charge(t, cost_.madvise_base, sim::CostKind::kMadvise);
+      return 0;
+
+    case Advice::kDontNeed: {
+      // Drop the pages: the next touch zero-fill-allocates afresh.
+      std::uint64_t dropped = 0;
+      const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
+      for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
+        vm::Pte* pte = p.as.page_table().find(vpn);
+        if (pte != nullptr && pte->present()) {
+          for (mem::FrameId f : p.replicas.take(vpn)) phys_.free(f);
+          phys_.free(pte->frame);
+          *pte = vm::Pte{};
+          ++dropped;
+        }
+      }
+      const sim::Time work = cost_.madvise_base + cost_.page_free * dropped +
+                             cost_.tlb_shootdown(topo_.num_cores());
+      charge(t, work, sim::CostKind::kMadvise);
+      ++kstats_.tlb_shootdowns;
+      return 0;
+    }
+
+    case Advice::kReplicate: {
+      if (!replication_) return -kENOSYS;
+      if (const vm::Vma* v = p.as.find(addr); v != nullptr && v->huge)
+        return -kEINVAL;
+      // Arm: clear the write bit so writes collapse; reads repopulate per
+      // node lazily through the access path.
+      std::uint64_t marked = 0;
+      const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
+      for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
+        vm::Pte* pte = p.as.page_table().find(vpn);
+        if (pte != nullptr && pte->present()) {
+          pte->clear(vm::Pte::kHwWrite | vm::Pte::kNextTouch);
+          pte->set(vm::Pte::kReplica);
+          ++marked;
+        }
+      }
+      const sim::Time work = cost_.madvise_base + cost_.madvise_page_mark * marked +
+                             cost_.tlb_shootdown(topo_.num_cores());
+      charge(t, work, sim::CostKind::kMadvise);
+      ++kstats_.tlb_shootdowns;
+      return 0;
+    }
+
+    case Advice::kMigrateOnNextTouch: {
+      // Huge pages cannot be migrated (paper Sec. 6: "LINUX does not
+      // currently support their migration").
+      if (const vm::Vma* v = p.as.find(addr); v != nullptr && v->huge)
+        return -kEINVAL;
+      // The paper's patch (Fig. 2): clear the hardware access bits of every
+      // present PTE and set the next-touch flag, then shoot down all TLBs so
+      // the next access from anywhere faults.
+      std::uint64_t marked = 0;
+      const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
+      for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
+        vm::Pte* pte = p.as.page_table().find(vpn);
+        if (pte != nullptr && pte->present()) {
+          // Replicated pages collapse before they can migrate as a unit.
+          if (pte->flags & vm::Pte::kReplica)
+            collapse_replicas(t, p, *pte, vpn, topo_.node_of_core(t.core));
+          pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
+          pte->set(vm::Pte::kNextTouch);
+          ++marked;
+        }
+      }
+      trace(t, EventType::kNextTouchMark, vm::vpn_of(addr), marked);
+      const sim::Time work = cost_.madvise_base + cost_.madvise_page_mark * marked +
+                             cost_.tlb_shootdown(topo_.num_cores());
+      const sim::Slot slot =
+          p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
+      if (slot.start > t.clock)
+        t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+      t.stats.add(sim::CostKind::kMadvise, slot.finish - slot.start);
+      t.clock = slot.finish;
+      ++kstats_.tlb_shootdowns;
+      return 0;
+    }
+  }
+  return -kEINVAL;
+}
+
+int Kernel::sys_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                      const vm::MemPolicy& policy, bool move_existing) {
+  Process& p = proc(t.pid);
+  if (len == 0) return -kEINVAL;
+  if (!p.as.range_mapped(addr, len)) return -kENOMEM;
+  if (policy.mode != vm::PolicyMode::kDefault && policy.nodes == 0) return -kEINVAL;
+  charge(t, cost_.syscall_entry + cost_.madvise_base, sim::CostKind::kSyscallEntry);
+  p.as.for_range(addr, addr + len, [&](vm::Vma& vma) { vma.policy = policy; });
+  if (!move_existing) return 0;
+
+  // MPOL_MF_MOVE: migrate already-present pages that violate the policy.
+  const sim::Time entry = t.clock;
+  CopyBatch copies;
+  std::uint64_t moved = 0;
+  const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
+  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
+    vm::Pte* pte = p.as.page_table().find(vpn);
+    if (pte == nullptr || !pte->present() || (pte->flags & vm::Pte::kHuge))
+      continue;
+    const vm::Vma* vma = p.as.find(vm::addr_of(vpn));
+    const topo::NodeId want = policy.target_node(
+        vma->pgoff(vpn), phys_.node_of(pte->frame), topo_.num_nodes());
+    if (want == topo::kInvalidNode || want == phys_.node_of(pte->frame)) continue;
+    if (migrate_page(t, p, *pte, want, cost_.move_pages_range_page_control,
+                     sim::CostKind::kMovePagesControl,
+                     sim::CostKind::kMovePagesCopy, &copies)) {
+      ++moved;
+      ++kstats_.pages_migrated_move;
+    }
+  }
+  flush_copy_batch(t, copies, sim::CostKind::kMovePagesCopy);
+  serialize_migration(t, p, entry, moved, cost_.move_pages_serial_per_page);
+  return 0;
+}
+
+int Kernel::sys_set_mempolicy(ThreadCtx& t, const vm::MemPolicy& policy) {
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  if (policy.mode != vm::PolicyMode::kDefault && policy.nodes == 0) return -kEINVAL;
+  proc(t.pid).task_policy = policy;
+  return 0;
+}
+
+int Kernel::sys_get_mempolicy(ThreadCtx& t, vm::MemPolicy& out) {
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  out = proc(t.pid).task_policy;
+  return 0;
+}
+
+int Kernel::sys_getcpu(ThreadCtx& t, topo::CoreId* core, topo::NodeId* node) {
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  if (core != nullptr) *core = t.core;
+  if (node != nullptr) *node = topo_.node_of_core(t.core);
+  return 0;
+}
+
+void Kernel::move_pages_enter(ThreadCtx& t, std::size_t total_pages) {
+  (void)total_pages;
+  Process& p = proc(t.pid);
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  // The ~160 us base: task lookup, argument copy-in, and down_read(mmap_sem)
+  // work that serializes concurrent callers.
+  assert(cost_.move_pages_base >= cost_.move_pages_base_locked);
+  charge(t, cost_.move_pages_base - cost_.move_pages_base_locked,
+         sim::CostKind::kMovePagesControl);
+  const sim::Slot slot = p.mmap_lock.reserve(t.clock, cost_.move_pages_base_locked,
+                                             t.core, cost_.lock_bounce);
+  if (slot.start > t.clock) t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+  t.stats.add(sim::CostKind::kMovePagesControl, slot.finish - slot.start);
+  t.clock = slot.finish;
+}
+
+void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
+                              std::span<const topo::NodeId> nodes,
+                              std::span<int> status, std::size_t request_total) {
+  Process& p = proc(t.pid);
+  assert(nodes.empty() || nodes.size() == chunk.size());
+  assert(status.size() == chunk.size());
+  const bool query_only = nodes.empty();
+
+  // Per-page unlocked control (vaddr lookup, isolation, status handling).
+  // The unpatched implementation additionally scans the whole request array
+  // once per page — the quadratic behaviour of Fig. 4.
+  sim::Time unlocked = cost_.move_pages_page_control - cost_.move_pages_page_locked;
+  if (move_impl_ == MovePagesImpl::kQuadratic) {
+    unlocked += static_cast<sim::Time>(cost_.quadratic_scan_ns_per_slot *
+                                       static_cast<double>(request_total));
+  }
+
+  struct Move {
+    std::size_t i;
+    topo::NodeId from;
+    topo::NodeId to;
+  };
+  std::vector<Move> moves;
+  moves.reserve(chunk.size());
+  const sim::Time entry = t.clock;
+  sim::Time unlocked_total = 0;
+  sim::Time locked_total = 0;
+
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    unlocked_total += query_only ? cost_.pte_update : unlocked;
+    const vm::Vma* vma = p.as.find(chunk[i]);
+    vm::Pte* pte = p.as.page_table().find(vm::vpn_of(chunk[i]));
+    if (vma == nullptr || pte == nullptr || !pte->present()) {
+      status[i] = -kEFAULT;  // Linux: -ENOENT for absent pages; -EFAULT unmapped
+      continue;
+    }
+    if (pte->flags & vm::Pte::kHuge) {
+      status[i] = -kEINVAL;  // no huge-page migration in this era
+      continue;
+    }
+    const topo::NodeId from = phys_.node_of(pte->frame);
+    if (query_only) {
+      status[i] = static_cast<int>(from);
+      continue;
+    }
+    const topo::NodeId to = nodes[i];
+    if (to >= topo_.num_nodes()) {
+      status[i] = -kEINVAL;
+      continue;
+    }
+    if (from == to) {
+      status[i] = static_cast<int>(to);
+      continue;
+    }
+    moves.push_back({i, from, to});
+    locked_total += cost_.move_pages_page_locked;
+  }
+
+  charge(t, unlocked_total + locked_total, sim::CostKind::kMovePagesControl);
+
+  // Copies happen outside the lock; coalesce same-route neighbours so the
+  // hardware model sees streams, not 4 KiB droplets.
+  std::size_t i = 0;
+  while (i < moves.size()) {
+    std::size_t j = i;
+    while (j < moves.size() && moves[j].from == moves[i].from &&
+           moves[j].to == moves[i].to)
+      ++j;
+    const std::uint64_t bytes = (j - i) * mem::kPageSize;
+    const sim::Slot c = hw_.copy(t.clock, moves[i].from, moves[i].to, bytes,
+                                 cost_.kernel_copy_bytes_per_us);
+    t.stats.add(sim::CostKind::kMovePagesCopy, c.finish - t.clock);
+    t.clock = c.finish;
+    i = j;
+  }
+
+  for (const Move& m : moves) {
+    vm::Pte* pte = p.as.page_table().find(vm::vpn_of(chunk[m.i]));
+    assert(pte != nullptr);
+    const mem::FrameId nf = phys_.alloc_near(m.to);
+    if (nf == mem::kInvalidFrame) {
+      status[m.i] = -kENOMEM;
+      continue;
+    }
+    if (std::byte* dst = phys_.data(nf)) {
+      if (const std::byte* src = phys_.data(pte->frame))
+        std::copy_n(src, mem::kPageSize, dst);
+    }
+    phys_.free(pte->frame);
+    pte->frame = nf;
+    pte->clear(vm::Pte::kNextTouch);
+    status[m.i] = static_cast<int>(phys_.node_of(nf));
+    ++kstats_.pages_migrated_move;
+  }
+  if (!moves.empty())
+    trace(t, EventType::kMovePages, vm::vpn_of(chunk[moves.front().i]), moves.size(),
+          moves.front().from, moves.front().to);
+  serialize_migration(t, p, entry, moves.size(), cost_.move_pages_serial_per_page);
+}
+
+long Kernel::sys_move_pages(ThreadCtx& t, std::span<const vm::Vaddr> pages,
+                            std::span<const topo::NodeId> nodes,
+                            std::span<int> status) {
+  if (!nodes.empty() && nodes.size() != pages.size()) return -kEINVAL;
+  if (status.size() != pages.size()) return -kEINVAL;
+  move_pages_enter(t, pages.size());
+  for (std::size_t off = 0; off < pages.size(); off += kSyscallBatchPages) {
+    const std::size_t n = std::min(kSyscallBatchPages, pages.size() - off);
+    move_pages_chunk(t, pages.subspan(off, n),
+                     nodes.empty() ? nodes : nodes.subspan(off, n),
+                     status.subspan(off, n), pages.size());
+  }
+  return 0;
+}
+
+long Kernel::sys_move_pages_ranged(ThreadCtx& t,
+                                   std::span<const MoveRange> ranges) {
+  Process& p = proc(t.pid);
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  // One (cheaper) base: argument copy-in is O(ranges), not O(pages).
+  const sim::Slot base = p.mmap_lock.reserve(
+      t.clock, cost_.move_pages_range_base, t.core, cost_.lock_bounce);
+  if (base.start > t.clock)
+    t.stats.add(sim::CostKind::kLockWait, base.start - t.clock);
+  t.stats.add(sim::CostKind::kMovePagesControl, base.finish - base.start);
+  t.clock = base.finish;
+
+  long moved = 0;
+  for (const MoveRange& r : ranges) {
+    if (r.len == 0) return -kEINVAL;
+    if (r.node >= topo_.num_nodes()) return -kEINVAL;
+    if (!p.as.range_mapped(r.addr, r.len)) return -kEFAULT;
+
+    const sim::Time entry = t.clock;
+    CopyBatch copies;
+    std::uint64_t batch_moved = 0;
+    const vm::Vpn vend = vm::vpn_of(vm::page_align_up(r.addr + r.len));
+    for (vm::Vpn vpn = vm::vpn_of(r.addr); vpn < vend; ++vpn) {
+      vm::Pte* pte = p.as.page_table().find(vpn);
+      if (pte == nullptr || !pte->present() || (pte->flags & vm::Pte::kHuge))
+        continue;
+      charge(t, cost_.move_pages_range_page_control,
+             sim::CostKind::kMovePagesControl);
+      if (phys_.node_of(pte->frame) == r.node) continue;
+      if (migrate_page(t, p, *pte, r.node, 0, sim::CostKind::kMovePagesControl,
+                       sim::CostKind::kMovePagesCopy, &copies)) {
+        ++batch_moved;
+        ++kstats_.pages_migrated_move;
+      }
+    }
+    flush_copy_batch(t, copies, sim::CostKind::kMovePagesCopy);
+    serialize_migration(t, p, entry, batch_moved,
+                        cost_.move_pages_serial_per_page);
+    moved += static_cast<long>(batch_moved);
+    if (elog_ != nullptr && batch_moved > 0)
+      trace(t, EventType::kMovePages, vm::vpn_of(r.addr), batch_moved,
+            topo::kInvalidNode, r.node);
+  }
+  return moved;
+}
+
+long Kernel::sys_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
+                               topo::NodeMask to) {
+  if (target >= procs_.size()) return -kESRCH;
+  if (from == 0 || to == 0) return -kEINVAL;
+  Process& p = proc(target);
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  charge(t, cost_.migrate_pages_base, sim::CostKind::kMigratePagesControl);
+
+  // node-relative remapping: i-th node of `from` -> i-th node of `to`
+  // (clamped to the last `to` node, as Linux does).
+  std::vector<topo::NodeId> to_nodes;
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n)
+    if (topo::mask_contains(to, n)) to_nodes.push_back(n);
+  if (to_nodes.empty()) return -kEINVAL;
+  std::vector<topo::NodeId> dest_of(topo_.num_nodes(), topo::kInvalidNode);
+  {
+    std::size_t i = 0;
+    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      if (topo::mask_contains(from, n)) {
+        dest_of[n] = to_nodes[std::min(i, to_nodes.size() - 1)];
+        ++i;
+      }
+    }
+  }
+
+  long migrated = 0;
+  std::vector<std::pair<vm::Vpn, topo::NodeId>> batch;  // vpn -> dest
+  auto flush_batch = [&] {
+    if (batch.empty()) return;
+    const sim::Time entry = t.clock;
+    charge(t, cost_.migrate_pages_page_locked * batch.size(),
+           sim::CostKind::kMigratePagesControl);
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      vm::Pte* first = p.as.page_table().find(batch[i].first);
+      const topo::NodeId f = phys_.node_of(first->frame);
+      std::size_t j = i;
+      while (j < batch.size() &&
+             phys_.node_of(p.as.page_table().find(batch[j].first)->frame) == f &&
+             batch[j].second == batch[i].second)
+        ++j;
+      const sim::Slot c = hw_.copy(t.clock, f, batch[i].second,
+                                   (j - i) * mem::kPageSize,
+                                   cost_.kernel_copy_bytes_per_us);
+      t.stats.add(sim::CostKind::kMigratePagesCopy, c.finish - t.clock);
+      t.clock = c.finish;
+      i = j;
+    }
+    for (auto [vpn, dest] : batch) {
+      vm::Pte* pte = p.as.page_table().find(vpn);
+      const mem::FrameId nf = phys_.alloc_near(dest);
+      if (nf == mem::kInvalidFrame) continue;
+      if (std::byte* dst = phys_.data(nf)) {
+        if (const std::byte* src = phys_.data(pte->frame))
+          std::copy_n(src, mem::kPageSize, dst);
+      }
+      phys_.free(pte->frame);
+      pte->frame = nf;
+      ++migrated;
+      ++kstats_.pages_migrated_process;
+    }
+    serialize_migration(t, p, entry, batch.size(),
+                        cost_.migrate_pages_serial_per_page);
+    batch.clear();
+  };
+
+  // In-order traversal of the whole address space (hence the higher base
+  // cost but better locality / throughput than move_pages — Sec. 4.2).
+  std::vector<std::pair<vm::Vpn, vm::Vpn>> ranges;
+  p.as.for_each([&](const vm::Vma& vma) {
+    ranges.emplace_back(vm::vpn_of(vma.start), vm::vpn_of(vma.end));
+  });
+  for (auto [vbegin, vend] : ranges) {
+    for (vm::Vpn vpn = vbegin; vpn < vend; ++vpn) {
+      vm::Pte* pte = p.as.page_table().find(vpn);
+      if (pte == nullptr || !pte->present()) {
+        charge(t, cost_.pte_update, sim::CostKind::kMigratePagesControl);
+        continue;
+      }
+      charge(t, cost_.migrate_pages_page_control - cost_.migrate_pages_page_locked,
+             sim::CostKind::kMigratePagesControl);
+      if (pte->flags & vm::Pte::kHuge) continue;
+      const topo::NodeId n = phys_.node_of(pte->frame);
+      if (dest_of[n] == topo::kInvalidNode || dest_of[n] == n) continue;
+      batch.push_back({vpn, dest_of[n]});
+      if (batch.size() >= kSyscallBatchPages) flush_batch();
+    }
+  }
+  flush_batch();
+  trace(t, EventType::kMigrateProcess, 0, static_cast<std::uint64_t>(migrated));
+  return migrated;
+}
+
+}  // namespace numasim::kern

@@ -1,0 +1,79 @@
+// Read-only page replication (the paper's first "future work" item):
+// "we will study the idea of replicating read-only pages among NUMA nodes
+//  so as to achieve local access performance from anywhere."
+//
+// A range armed with madvise(kReplicate) serves reads from a per-node
+// replica, created lazily on each node's first read fault. The home PTE
+// keeps its write bit cleared; the first write fault collapses every
+// replica back to a single page on the writer's node (the copy-on-write-
+// style invalidation real replication designs need for coherence).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/phys.hpp"
+#include "vm/page_table.hpp"
+
+namespace numasim::kern {
+
+/// Per-process replica bookkeeping, keyed by virtual page number.
+class ReplicaTable {
+ public:
+  explicit ReplicaTable(unsigned num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  void set_num_nodes(unsigned n) { num_nodes_ = n; }
+
+  /// Frame of `vpn`'s replica on `node`, or kInvalidFrame.
+  mem::FrameId replica_on(vm::Vpn vpn, topo::NodeId node) const {
+    auto it = table_.find(vpn);
+    if (it == table_.end()) return mem::kInvalidFrame;
+    return it->second[node];
+  }
+
+  /// Record a replica (one per node at most).
+  void add(vm::Vpn vpn, topo::NodeId node, mem::FrameId frame) {
+    auto it = table_.find(vpn);
+    if (it == table_.end())
+      it = table_.emplace(vpn, std::vector<mem::FrameId>(num_nodes_, mem::kInvalidFrame))
+               .first;
+    it->second[node] = frame;
+  }
+
+  /// Remove and return every replica frame of `vpn` (for collapse/unmap).
+  std::vector<mem::FrameId> take(vm::Vpn vpn) {
+    std::vector<mem::FrameId> out;
+    auto it = table_.find(vpn);
+    if (it == table_.end()) return out;
+    for (mem::FrameId f : it->second)
+      if (f != mem::kInvalidFrame) out.push_back(f);
+    table_.erase(it);
+    return out;
+  }
+
+  bool has(vm::Vpn vpn) const { return table_.count(vpn) != 0; }
+
+  std::uint64_t replica_count(vm::Vpn vpn) const {
+    auto it = table_.find(vpn);
+    if (it == table_.end()) return 0;
+    std::uint64_t n = 0;
+    for (mem::FrameId f : it->second)
+      if (f != mem::kInvalidFrame) ++n;
+    return n;
+  }
+
+  std::uint64_t total_replicas() const {
+    std::uint64_t n = 0;
+    for (const auto& [vpn, v] : table_)
+      for (mem::FrameId f : v)
+        if (f != mem::kInvalidFrame) ++n;
+    return n;
+  }
+
+ private:
+  unsigned num_nodes_;
+  std::unordered_map<vm::Vpn, std::vector<mem::FrameId>> table_;
+};
+
+}  // namespace numasim::kern

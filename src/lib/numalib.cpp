@@ -1,0 +1,59 @@
+#include "lib/numalib.hpp"
+
+#include <vector>
+
+namespace numasim::lib {
+
+vm::Vaddr numa_alloc_onnode(kern::ThreadCtx& t, kern::Kernel& k, std::uint64_t size,
+                            topo::NodeId node, std::string name) {
+  return k.sys_mmap(t, size, vm::Prot::kReadWrite,
+                    vm::MemPolicy::bind(topo::node_mask_of(node)), std::move(name));
+}
+
+vm::Vaddr numa_alloc_interleaved(kern::ThreadCtx& t, kern::Kernel& k,
+                                 std::uint64_t size, std::string name) {
+  return k.sys_mmap(t, size, vm::Prot::kReadWrite,
+                    vm::MemPolicy::interleave(k.topo().all_nodes_mask()),
+                    std::move(name));
+}
+
+vm::Vaddr numa_alloc_local(kern::ThreadCtx& t, kern::Kernel& k, std::uint64_t size,
+                           std::string name) {
+  return k.sys_mmap(t, size, vm::Prot::kReadWrite, vm::MemPolicy::first_touch(),
+                    std::move(name));
+}
+
+void numa_free(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
+               std::uint64_t size) {
+  k.sys_munmap(t, addr, size);
+}
+
+void populate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
+              std::uint64_t size) {
+  k.access(t, addr, size, vm::Prot::kReadWrite, k.cost().zero_rate_bytes_per_us);
+}
+
+int lazy_migrate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
+                 std::uint64_t len) {
+  return k.sys_madvise(t, addr, len, kern::Advice::kMigrateOnNextTouch);
+}
+
+long sync_migrate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
+                  std::uint64_t len, topo::NodeId node) {
+  if (len == 0) return 0;
+  const vm::Vpn first = vm::vpn_of(addr);
+  const vm::Vpn last = vm::vpn_of(addr + len - 1) + 1;
+  std::vector<vm::Vaddr> pages;
+  pages.reserve(last - first);
+  for (vm::Vpn vpn = first; vpn < last; ++vpn) pages.push_back(vm::addr_of(vpn));
+  std::vector<topo::NodeId> nodes(pages.size(), node);
+  std::vector<int> status(pages.size(), 0);
+  const long r = k.sys_move_pages(t, pages, nodes, status);
+  if (r < 0) return r;
+  long ok = 0;
+  for (int s : status)
+    if (s == static_cast<int>(node)) ++ok;
+  return ok;
+}
+
+}  // namespace numasim::lib

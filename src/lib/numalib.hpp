@@ -1,0 +1,44 @@
+// libnuma-flavoured user-space helpers over the simulated syscalls.
+//
+// These are the allocation entry points applications use (the simulated
+// equivalents of numa_alloc_onnode / numa_alloc_interleaved / ...), plus the
+// lazy-migration helper the paper builds from kernel next-touch (Sec. 3.4).
+#pragma once
+
+#include <cstdint>
+
+#include "kern/kernel.hpp"
+
+namespace numasim::lib {
+
+/// Map `size` bytes bound to `node` (populated lazily on first touch).
+vm::Vaddr numa_alloc_onnode(kern::ThreadCtx& t, kern::Kernel& k, std::uint64_t size,
+                            topo::NodeId node, std::string name = {});
+
+/// Map `size` bytes interleaved across all nodes.
+vm::Vaddr numa_alloc_interleaved(kern::ThreadCtx& t, kern::Kernel& k,
+                                 std::uint64_t size, std::string name = {});
+
+/// Map `size` bytes with default policy (first touch decides placement).
+vm::Vaddr numa_alloc_local(kern::ThreadCtx& t, kern::Kernel& k, std::uint64_t size,
+                           std::string name = {});
+
+void numa_free(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
+               std::uint64_t size);
+
+/// Fault the whole range in (one full-range write touch).
+void populate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
+              std::uint64_t size);
+
+/// Lazy migration via kernel next-touch (paper Sec. 3.4): mark the buffer and
+/// let pages follow whichever thread touches them, instead of a synchronous
+/// move_pages. Returns 0 or -errno.
+int lazy_migrate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
+                 std::uint64_t len);
+
+/// Synchronous migration of a whole range with move_pages. Returns number of
+/// pages whose status reports the target node, or -errno.
+long sync_migrate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
+                  std::uint64_t len, topo::NodeId node);
+
+}  // namespace numasim::lib

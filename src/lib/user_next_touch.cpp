@@ -1,0 +1,114 @@
+#include "lib/user_next_touch.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace numasim::lib {
+
+UserNextTouch::UserNextTouch(kern::Kernel& k, kern::Pid pid) : k_(k), pid_(pid) {
+  k_.set_sigsegv_handler(
+      pid_, [this](kern::ThreadCtx& t, const kern::SigInfo& info) { on_segv(t, info); });
+}
+
+UserNextTouch::~UserNextTouch() { k_.set_sigsegv_handler(pid_, {}); }
+
+int UserNextTouch::mark(kern::ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                        std::uint64_t granule) {
+  const vm::Vaddr start = vm::page_align_down(addr);
+  const vm::Vaddr end = vm::page_align_up(addr + len);
+  if (end <= start) return -kern::kEINVAL;
+  if (granule % mem::kPageSize != 0) return -kern::kEINVAL;
+
+  // Reject overlap with an already-armed interval.
+  auto it = armed_.upper_bound(start);
+  if (it != armed_.end() && it->second.start < end) return -kern::kEBUSY;
+  if (it != armed_.begin() && std::prev(it)->second.end > start)
+    return -kern::kEBUSY;
+
+  const vm::Vma* vma = k_.address_space(pid_).find(start);
+  if (vma == nullptr) return -kern::kENOMEM;
+  const vm::Prot orig = vma->prot;
+
+  const int r = k_.sys_mprotect(t, start, end - start, vm::Prot::kNone,
+                                sim::CostKind::kMprotectMark);
+  if (r < 0) return r;
+  armed_.emplace(start, Region{start, end, granule, orig});
+  return 0;
+}
+
+int UserNextTouch::cancel(kern::ThreadCtx& t, vm::Vaddr addr, std::uint64_t len) {
+  const vm::Vaddr start = vm::page_align_down(addr);
+  const vm::Vaddr end = vm::page_align_up(addr + len);
+  auto it = armed_.lower_bound(start);
+  if (it != armed_.begin() && std::prev(it)->second.end > start) --it;
+  while (it != armed_.end() && it->first < end) {
+    const vm::Vaddr key = it->first;
+    const Region r = it->second;
+    it = armed_.erase(it);
+    k_.sys_mprotect(t, key, r.end - key, r.orig_prot,
+                    sim::CostKind::kMprotectRestore);
+  }
+  return 0;
+}
+
+std::uint64_t UserNextTouch::armed_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, r] : armed_) total += r.end - key;
+  return total;
+}
+
+void UserNextTouch::on_segv(kern::ThreadCtx& t, const kern::SigInfo& info) {
+  // Locate the armed interval containing the fault.
+  auto it = armed_.upper_bound(info.fault_addr);
+  if (it == armed_.begin()) throw kern::SegfaultError{info.fault_addr};
+  --it;
+  const vm::Vaddr key = it->first;
+  const Region& region = it->second;
+  if (info.fault_addr >= region.end) throw kern::SegfaultError{info.fault_addr};
+
+  // Granule window, aligned to the region's original start.
+  vm::Vaddr lo = key;
+  vm::Vaddr hi = region.end;
+  if (region.granule != 0) {
+    const std::uint64_t off = info.fault_addr - region.start;
+    lo = std::max<vm::Vaddr>(key, region.start + off / region.granule * region.granule);
+    hi = std::min<vm::Vaddr>(region.end, lo + region.granule);
+  }
+
+  const topo::NodeId target = k_.topo().node_of_core(t.core);
+  complete_window(t, key, lo, hi, target);
+  ++stats_.faults_handled;
+}
+
+void UserNextTouch::complete_window(kern::ThreadCtx& t, vm::Vaddr key, vm::Vaddr lo,
+                                    vm::Vaddr hi, topo::NodeId target) {
+  auto it = armed_.find(key);
+  const Region region = it->second;
+
+  // The library knows the workset layout, so it can benefit from the
+  // batched move_pages throughput: one call for the whole granule.
+  const vm::Vpn first = vm::vpn_of(lo);
+  const vm::Vpn last = vm::vpn_of(hi - 1) + 1;
+  std::vector<vm::Vaddr> pages;
+  pages.reserve(last - first);
+  for (vm::Vpn vpn = first; vpn < last; ++vpn) pages.push_back(vm::addr_of(vpn));
+  std::vector<topo::NodeId> nodes(pages.size(), target);
+  std::vector<int> status(pages.size(), 0);
+  k_.sys_move_pages(t, pages, nodes, status);
+  for (int s : status)
+    if (s >= 0) ++stats_.pages_moved;
+  ++stats_.granules_migrated;
+
+  k_.sys_mprotect(t, lo, hi - lo, region.orig_prot,
+                  sim::CostKind::kMprotectRestore);
+
+  // Trim [lo, hi) out of the armed interval.
+  armed_.erase(it);
+  if (lo > key) armed_.emplace(key, Region{region.start, lo, region.granule,
+                                           region.orig_prot});
+  if (hi < region.end)
+    armed_.emplace(hi, Region{region.start, region.end, region.granule,
+                              region.orig_prot});
+}
+
+}  // namespace numasim::lib

@@ -1,0 +1,69 @@
+// User-space next-touch (the paper's Fig. 1 design, built like ref. [12]).
+//
+// A region is armed with mprotect(PROT_NONE); the next access raises a
+// simulated SIGSEGV. The installed handler knows the workset layout, so it
+// migrates a whole *granule* (up to the entire region) around the faulting
+// address with move_pages, restores the protection, and the access retries.
+// Because the library — not the kernel — chooses the granule, it can move
+// complex shapes (a matrix column) on a single fault, the flexibility the
+// paper credits this design with; the price is the signal round-trip and two
+// mprotect TLB shootdowns per granule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "kern/kernel.hpp"
+
+namespace numasim::lib {
+
+class UserNextTouch {
+ public:
+  struct Stats {
+    std::uint64_t faults_handled = 0;
+    std::uint64_t pages_moved = 0;
+    std::uint64_t granules_migrated = 0;
+  };
+
+  /// Installs this object as the process SIGSEGV handler. At most one
+  /// UserNextTouch per process (mirrors a real signal handler slot).
+  UserNextTouch(kern::Kernel& k, kern::Pid pid);
+  ~UserNextTouch();
+  UserNextTouch(const UserNextTouch&) = delete;
+  UserNextTouch& operator=(const UserNextTouch&) = delete;
+
+  /// Arm [addr, addr+len): each future fault migrates `granule` bytes
+  /// (region-start-aligned window; 0 = the whole remaining region) to the
+  /// faulting thread's node. The range must be mapped and not already armed.
+  /// Returns 0 or -errno.
+  int mark(kern::ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+           std::uint64_t granule = 0);
+
+  /// Disarm a range without migrating (restores protection).
+  int cancel(kern::ThreadCtx& t, vm::Vaddr addr, std::uint64_t len);
+
+  /// Number of bytes still armed.
+  std::uint64_t armed_bytes() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Region {
+    vm::Vaddr start;  ///< original mark() start — granule alignment origin
+    vm::Vaddr end;
+    std::uint64_t granule;  ///< 0 = whole region
+    vm::Prot orig_prot;
+  };
+
+  void on_segv(kern::ThreadCtx& t, const kern::SigInfo& info);
+  /// Migrate + restore [lo, hi) of `region`, trimming the armed interval.
+  void complete_window(kern::ThreadCtx& t, vm::Vaddr key, vm::Vaddr lo,
+                       vm::Vaddr hi, topo::NodeId target);
+
+  kern::Kernel& k_;
+  kern::Pid pid_;
+  std::map<vm::Vaddr, Region> armed_;  // keyed by current interval start
+  Stats stats_;
+};
+
+}  // namespace numasim::lib

@@ -1,0 +1,82 @@
+#include "mem/phys.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace numasim::mem {
+
+PhysMem::PhysMem(const topo::Topology& topo, Backing backing,
+                 std::uint64_t max_frames_per_node)
+    : topo_(topo), backing_(backing) {
+  per_node_.resize(topo.num_nodes());
+  fallback_order_.resize(topo.num_nodes());
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    std::uint64_t cap = topo.node_spec(n).dram_capacity_bytes >> kPageShift;
+    if (max_frames_per_node != 0) cap = std::min(cap, max_frames_per_node);
+    per_node_[n].capacity = cap;
+
+    auto& order = fallback_order_[n];
+    order.resize(topo.num_nodes());
+    std::iota(order.begin(), order.end(), topo::NodeId{0});
+    std::stable_sort(order.begin(), order.end(), [&](topo::NodeId a, topo::NodeId b) {
+      return topo.hops(n, a) < topo.hops(n, b);
+    });
+  }
+}
+
+FrameId PhysMem::take_frame(topo::NodeId node) {
+  NodePool& pool = per_node_[node];
+  if (pool.used >= pool.capacity) return kInvalidFrame;
+  ++pool.used;
+  ++allocs_;
+  FrameId id;
+  if (!pool.free_list.empty()) {
+    id = pool.free_list.back();
+    pool.free_list.pop_back();
+    frames_[id].in_use = true;
+  } else {
+    id = static_cast<FrameId>(frames_.size());
+    frames_.push_back(Frame{node, true, nullptr});
+  }
+  if (backing_ == Backing::kMaterialized && !frames_[id].data) {
+    frames_[id].data = std::make_unique<std::byte[]>(kPageSize);
+  }
+  return id;
+}
+
+FrameId PhysMem::alloc_on(topo::NodeId node) {
+  assert(node < per_node_.size());
+  return take_frame(node);
+}
+
+FrameId PhysMem::alloc_near(topo::NodeId preferred) {
+  assert(preferred < per_node_.size());
+  for (topo::NodeId n : fallback_order_[preferred]) {
+    const FrameId f = take_frame(n);
+    if (f != kInvalidFrame) {
+      if (n != preferred) ++fallbacks_;
+      return f;
+    }
+  }
+  return kInvalidFrame;
+}
+
+void PhysMem::free(FrameId f) {
+  assert(f < frames_.size() && frames_[f].in_use);
+  Frame& frame = frames_[f];
+  frame.in_use = false;
+  NodePool& pool = per_node_[frame.node];
+  assert(pool.used > 0);
+  --pool.used;
+  ++frees_;
+  pool.free_list.push_back(f);
+}
+
+std::uint64_t PhysMem::total_used_frames() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : per_node_) sum += p.used;
+  return sum;
+}
+
+}  // namespace numasim::mem

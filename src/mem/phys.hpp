@@ -1,0 +1,95 @@
+// Physical memory: page frames and the per-NUMA-node frame allocator.
+//
+// A frame is 4 KiB of simulated physical memory on one node. Frames can be
+// *materialized* (carry a real host buffer, so migration really copies bytes
+// and tests can verify data integrity) or *phantom* (timing only, so 8 GiB
+// worksets fit in host RAM). Capacity per node is enforced; callers fall
+// back to other nodes in hop order, as Linux's zonelists do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace numasim::mem {
+
+inline constexpr unsigned kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+
+using FrameId = std::uint32_t;
+inline constexpr FrameId kInvalidFrame = static_cast<FrameId>(-1);
+
+/// Whether frames carry real 4 KiB host buffers.
+enum class Backing : std::uint8_t { kPhantom, kMaterialized };
+
+class PhysMem {
+ public:
+  /// Frame pool sized from the topology's per-node DRAM capacity, clamped to
+  /// `max_frames_per_node` (0 = no clamp) so unit tests stay tiny.
+  PhysMem(const topo::Topology& topo, Backing backing,
+          std::uint64_t max_frames_per_node = 0);
+
+  PhysMem(const PhysMem&) = delete;
+  PhysMem& operator=(const PhysMem&) = delete;
+
+  /// Allocate a frame on exactly `node`; kInvalidFrame when the node is full.
+  FrameId alloc_on(topo::NodeId node);
+
+  /// Allocate on `preferred`, falling back to other nodes in increasing hop
+  /// distance (ties by node id). kInvalidFrame only when the machine is full.
+  FrameId alloc_near(topo::NodeId preferred);
+
+  void free(FrameId f);
+
+  topo::NodeId node_of(FrameId f) const { return frames_[f].node; }
+
+  /// Host backing of a materialized frame; nullptr for phantom frames.
+  std::byte* data(FrameId f) { return frames_[f].data.get(); }
+  const std::byte* data(FrameId f) const { return frames_[f].data.get(); }
+
+  Backing backing() const { return backing_; }
+  std::uint64_t capacity_frames(topo::NodeId n) const { return per_node_[n].capacity; }
+  std::uint64_t used_frames(topo::NodeId n) const { return per_node_[n].used; }
+  std::uint64_t free_frames(topo::NodeId n) const {
+    return per_node_[n].capacity - per_node_[n].used;
+  }
+  std::uint64_t total_used_frames() const;
+
+  /// True when `f` is a live allocated frame (consistency checks).
+  bool is_live(FrameId f) const {
+    return f < frames_.size() && frames_[f].in_use;
+  }
+
+  /// Lifetime counters (diagnostics / tests).
+  std::uint64_t total_allocs() const { return allocs_; }
+  std::uint64_t total_frees() const { return frees_; }
+  std::uint64_t fallback_allocs() const { return fallbacks_; }
+
+ private:
+  struct Frame {
+    topo::NodeId node = topo::kInvalidNode;
+    bool in_use = false;
+    std::unique_ptr<std::byte[]> data;
+  };
+  struct NodePool {
+    std::uint64_t capacity = 0;
+    std::uint64_t used = 0;
+    std::vector<FrameId> free_list;  // frames returned by free()
+  };
+
+  FrameId take_frame(topo::NodeId node);
+
+  const topo::Topology& topo_;
+  Backing backing_;
+  std::vector<Frame> frames_;
+  std::vector<NodePool> per_node_;
+  std::vector<std::vector<topo::NodeId>> fallback_order_;  // per preferred node
+  std::uint64_t allocs_ = 0;
+  std::uint64_t frees_ = 0;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace numasim::mem

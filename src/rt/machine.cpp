@@ -1,0 +1,33 @@
+#include "rt/machine.hpp"
+
+#include "rt/thread.hpp"
+
+namespace numasim::rt {
+
+Machine::Machine(Config cfg) : cfg_(std::move(cfg)) {
+  kernel_ = std::make_unique<kern::Kernel>(cfg_.topology, cfg_.backing, cfg_.cost,
+                                           cfg_.max_frames_per_node);
+  pid_ = kernel_->create_process("app");
+}
+
+Machine::~Machine() = default;
+
+namespace {
+sim::Task<void> trampoline(sim::Engine& engine, Thread& th, Machine::Body body) {
+  th.ctx().clock = engine.now();
+  co_await body(th);
+}
+}  // namespace
+
+Thread* Machine::spawn(topo::CoreId core, Body body, std::function<void()> on_done,
+                       sim::Time at) {
+  if (core >= cfg_.topology.num_cores())
+    throw std::invalid_argument{"Machine::spawn: core out of range"};
+  threads_.push_back(std::make_unique<Thread>(*this, next_tid_++, core));
+  Thread* th = threads_.back().get();
+  engine_.start_with_callback(trampoline(engine_, *th, std::move(body)),
+                              std::move(on_done), at);
+  return th;
+}
+
+}  // namespace numasim::rt

@@ -1,0 +1,74 @@
+// Machine: engine + topology + kernel + the simulated process, in one box.
+//
+// This is the library's main entry object. Examples and benchmarks build a
+// Machine, spawn simulated threads bound to cores, and run the event loop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "mem/phys.hpp"
+#include "sim/engine.hpp"
+#include "topo/topology.hpp"
+
+namespace numasim::rt {
+
+class Thread;
+
+class Machine {
+ public:
+  struct Config {
+    topo::Topology topology = topo::Topology::quad_opteron();
+    mem::Backing backing = mem::Backing::kMaterialized;
+    kern::CostModel cost{};
+    /// Clamp per-node frame pools (0 = use topology DRAM capacity). Tests
+    /// use small pools to exercise fallback allocation.
+    std::uint64_t max_frames_per_node = 0;
+  };
+
+  Machine() : Machine(Config{}) {}
+  explicit Machine(Config cfg);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  ~Machine();
+
+  sim::Engine& engine() { return engine_; }
+  kern::Kernel& kernel() { return *kernel_; }
+  const topo::Topology& topology() const { return cfg_.topology; }
+  const kern::CostModel& cost() const { return kernel_->cost(); }
+  kern::Pid pid() const { return pid_; }
+
+  /// A simulated-thread body: a coroutine consuming the Thread facade.
+  using Body = std::function<sim::Task<void>(Thread&)>;
+
+  /// Spawn a simulated thread pinned to `core`, starting at simulated
+  /// instant `at` (0 = immediately). Returns the Thread for stats
+  /// inspection; it stays valid for the Machine's lifetime.
+  Thread* spawn(topo::CoreId core, Body body, std::function<void()> on_done = {},
+                sim::Time at = 0);
+
+  /// Drain the event loop (rethrows escaped simulated-thread exceptions).
+  void run() { engine_.run(); }
+
+  /// Spawn `body` as the initial thread and run the simulation to idle.
+  void run_main(topo::CoreId core, Body body) {
+    spawn(core, std::move(body));
+    run();
+  }
+
+  const std::vector<std::unique_ptr<Thread>>& threads() const { return threads_; }
+
+ private:
+  Config cfg_;
+  std::unique_ptr<kern::Kernel> kernel_;
+  // Declared after kernel_ so the engine (and the coroutine frames it owns,
+  // which may reference the kernel from their destructors) dies first.
+  sim::Engine engine_;
+  kern::Pid pid_ = 0;
+  kern::ThreadId next_tid_ = 0;
+  std::vector<std::unique_ptr<Thread>> threads_;
+};
+
+}  // namespace numasim::rt

@@ -1,0 +1,92 @@
+// Thread: the coroutine-facing facade a simulated thread's body programs
+// against. Every operation calls into the (synchronous) kernel, then awaits
+// the engine so concurrent threads interleave in global time order.
+//
+// Long operations (big touches, big move_pages requests) are internally
+// split into kernel-batch-sized chunks with an await between chunks, so lock
+// and link contention is modelled at realistic granularity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "rt/machine.hpp"
+#include "sim/barrier.hpp"
+#include "sim/task.hpp"
+
+namespace numasim::rt {
+
+class Thread {
+ public:
+  /// Pages processed per interleaving step in chunked operations.
+  static constexpr std::size_t kChunkPages = 64;
+
+  Thread(Machine& m, kern::ThreadId tid, topo::CoreId core);
+
+  kern::ThreadCtx& ctx() { return ctx_; }
+  const kern::ThreadCtx& ctx() const { return ctx_; }
+  Machine& machine() { return m_; }
+  kern::Kernel& kernel() { return m_.kernel(); }
+  sim::Time now() const { return ctx_.clock; }
+  topo::CoreId core() const { return ctx_.core; }
+  topo::NodeId node() const { return m_.topology().node_of_core(ctx_.core); }
+  const sim::CostStats& stats() const { return ctx_.stats; }
+
+  /// Re-synchronize with the engine (await until global clock == ctx.clock).
+  sim::Task<void> sync();
+
+  /// Spend `ns` of pure computation.
+  sim::Task<void> compute(sim::Time ns);
+
+  /// Move this thread to another core (sched_setaffinity + migration cost).
+  sim::Task<void> migrate_to_core(topo::CoreId core);
+
+  // --- memory mapping ---------------------------------------------------------
+  sim::Task<vm::Vaddr> mmap(std::uint64_t len, vm::Prot prot = vm::Prot::kReadWrite,
+                            vm::MemPolicy policy = {}, std::string name = {});
+  sim::Task<int> munmap(vm::Vaddr addr, std::uint64_t len);
+  sim::Task<int> mprotect(vm::Vaddr addr, std::uint64_t len, vm::Prot prot);
+  sim::Task<int> madvise(vm::Vaddr addr, std::uint64_t len, kern::Advice advice);
+  sim::Task<int> mbind(vm::Vaddr addr, std::uint64_t len, vm::MemPolicy policy);
+  sim::Task<int> set_mempolicy(vm::MemPolicy policy);
+
+  // --- data plane --------------------------------------------------------------
+  /// Touch [addr, addr+len) (chunked). `stream_rate` in bytes/us; pass 0 to
+  /// model a pointer-chase touch (faults only, no bandwidth charge).
+  sim::Task<kern::AccessResult> touch(vm::Vaddr addr, std::uint64_t len,
+                                      vm::Prot want = vm::Prot::kReadWrite,
+                                      double stream_rate = -1.0);
+
+  /// Touch one word at the start of every page in the range — the classic
+  /// migration-microbenchmark access pattern.
+  sim::Task<kern::AccessResult> touch_pages_sparse(vm::Vaddr addr, std::uint64_t len,
+                                                   vm::Prot want = vm::Prot::kReadWrite);
+
+  /// memcpy(dst, src, len) in user space (the Fig. 4 baseline).
+  sim::Task<int> memcpy_user(vm::Vaddr dst, vm::Vaddr src, std::uint64_t len);
+
+  sim::Task<int> read(vm::Vaddr addr, std::span<std::byte> out);
+  sim::Task<int> write(vm::Vaddr addr, std::span<const std::byte> in);
+
+  // --- migration ----------------------------------------------------------------
+  /// move_pages(2), chunked for realistic concurrency.
+  sim::Task<long> move_pages(std::span<const vm::Vaddr> pages,
+                             std::span<const topo::NodeId> nodes,
+                             std::span<int> status);
+
+  /// Convenience: synchronously migrate a whole range to `node`.
+  sim::Task<long> move_range(vm::Vaddr addr, std::uint64_t len, topo::NodeId node);
+
+  sim::Task<long> migrate_pages(kern::Pid target, topo::NodeMask from,
+                                topo::NodeMask to);
+
+  // --- synchronization -------------------------------------------------------------
+  sim::Task<void> barrier(sim::Barrier& b);
+
+ private:
+  Machine& m_;
+  kern::ThreadCtx ctx_;
+};
+
+}  // namespace numasim::rt

@@ -1,0 +1,59 @@
+// Coroutine barrier for simulated threads.
+//
+// All participants suspend on arrive(); when the last one arrives, every
+// participant resumes at (last arrival time + per-phase cost). The barrier
+// is reusable (generation-based), like an OpenMP implicit barrier.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace numasim::sim {
+
+class Barrier {
+ public:
+  /// `parties` threads synchronize; each release costs `phase_cost` ns
+  /// (models the cache-line ping-pong of a real tree barrier).
+  Barrier(Engine& engine, unsigned parties, Time phase_cost = 0)
+      : engine_(engine), parties_(parties), phase_cost_(phase_cost) {
+    assert(parties_ > 0);
+    waiting_.reserve(parties_);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Awaitable: block until all parties have arrived in this generation.
+  auto arrive() {
+    struct Awaiter {
+      Barrier& barrier;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { barrier.on_arrive(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  unsigned parties() const { return parties_; }
+
+ private:
+  void on_arrive(std::coroutine_handle<> h) {
+    waiting_.push_back(h);
+    if (waiting_.size() == parties_) {
+      const Time release = engine_.now() + phase_cost_;
+      for (auto w : waiting_) engine_.schedule(release, w);
+      waiting_.clear();
+    }
+  }
+
+  Engine& engine_;
+  unsigned parties_;
+  Time phase_cost_;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace numasim::sim

@@ -1,0 +1,65 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace numasim::sim {
+
+Engine::~Engine() {
+  for (auto& r : roots_) {
+    if (r->handle) r->handle.destroy();
+  }
+}
+
+void Engine::schedule(Time t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule into the simulated past");
+  queue_.push(Event{t < now_ ? now_ : t, seq_++, h});
+}
+
+RootId Engine::start(Task<void> task, Time at) {
+  return start_with_callback(std::move(task), {}, at);
+}
+
+RootId Engine::start_with_callback(Task<void> task, std::function<void()> on_done, Time at) {
+  auto state = std::make_unique<RootState>();
+  state->handle = task.release();
+  state->user_done = std::move(on_done);
+  RootState* raw = state.get();
+  state->hook = [raw] {
+    raw->done = true;
+    if (raw->user_done) raw->user_done();
+  };
+  state->handle.promise().on_root_done = &state->hook;
+  roots_.push_back(std::move(state));
+  schedule(at < now_ ? now_ : at, raw->handle);
+  return roots_.size() - 1;
+}
+
+bool Engine::finished(RootId id) const {
+  if (id >= roots_.size()) throw std::out_of_range{"Engine::finished: bad RootId"};
+  return roots_[id]->done;
+}
+
+std::size_t Engine::live_roots() const {
+  std::size_t n = 0;
+  for (const auto& r : roots_)
+    if (!r->done) ++n;
+  return n;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++events_;
+    ev.h.resume();
+  }
+  for (const auto& r : roots_) {
+    if (r->done && r->handle.promise().exception) {
+      std::rethrow_exception(r->handle.promise().exception);
+    }
+  }
+}
+
+}  // namespace numasim::sim

@@ -1,0 +1,101 @@
+// Deterministic discrete-event engine.
+//
+// One host thread runs the whole simulation. Simulated threads are
+// coroutines; every timed operation computes a finish instant and then
+// `co_await engine.resume_at(finish)`. The engine pops events in
+// (time, sequence) order, so execution is bit-reproducible: ties resolve by
+// scheduling order, never by host scheduling.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace numasim::sim {
+
+/// Identifies a root task started on the engine.
+using RootId = std::size_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated instant (the timestamp of the event being processed).
+  Time now() const { return now_; }
+
+  /// Enqueue a raw coroutine resume at instant `t` (>= now()).
+  void schedule(Time t, std::coroutine_handle<> h);
+
+  /// Awaitable: suspend the current coroutine and resume it at instant `t`.
+  /// `t` may equal now(); the coroutine is then re-queued behind already
+  /// scheduled same-instant events (deterministic FIFO ordering).
+  auto resume_at(Time t) {
+    struct Awaiter {
+      Engine& engine;
+      Time at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { engine.schedule(at, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, t};
+  }
+
+  /// Awaitable: advance the current coroutine's clock by `d` nanoseconds.
+  auto advance(Time d) { return resume_at(now_ + d); }
+
+  /// Adopt `task` as a root coroutine and schedule its first resume at
+  /// max(at, now()). Ownership of the coroutine frame moves to the engine.
+  RootId start(Task<void> task, Time at = 0);
+
+  /// As `start`, additionally invoking `on_done` (inside the simulation, at
+  /// the root's completion instant) when the task finishes.
+  RootId start_with_callback(Task<void> task, std::function<void()> on_done, Time at = 0);
+
+  /// True once the given root task has run to completion.
+  bool finished(RootId id) const;
+
+  /// Process events until the queue drains. Rethrows the first exception
+  /// that escaped any root task (after the queue is drained).
+  void run();
+
+  /// Number of events processed so far (diagnostics).
+  std::uint64_t events_processed() const { return events_; }
+
+  /// Number of root tasks that have not yet completed.
+  std::size_t live_roots() const;
+
+ private:
+  struct RootState {
+    std::coroutine_handle<Task<void>::promise_type> handle;
+    bool done = false;
+    std::function<void()> user_done;
+    std::function<void()> hook;  // pointed to by the promise
+  };
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<RootState>> roots_;
+};
+
+}  // namespace numasim::sim

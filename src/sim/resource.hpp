@@ -1,0 +1,78 @@
+// Timeline resources: contention modelled as reservations, not suspension.
+//
+// Because the engine executes operations in global simulated-time order, a
+// shared resource can be modelled as a "next free instant": an operation
+// arriving at `now` starts at max(now, free_at) and pushes free_at forward.
+// The caller's clock simply advances to the returned finish instant, which
+// bakes both queueing delay and service time into its timeline. This models
+// kernel locks (Timeline), DRAM controllers and HyperTransport links
+// (BandwidthResource) without any host-level blocking.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace numasim::sim {
+
+/// A start/finish pair returned by a reservation. `start - request` is the
+/// queueing (contention) delay; `finish - start` is the service time.
+struct Slot {
+  Time start = 0;
+  Time finish = 0;
+  Time wait(Time requested) const { return start - requested; }
+  Time service() const { return finish - start; }
+};
+
+/// Exclusive serially-reusable resource (a lock, a migration daemon, ...).
+class Timeline {
+ public:
+  /// Reserve the resource for `hold` ns starting no earlier than `now`.
+  Slot reserve(Time now, Time hold) {
+    const Time start = now > free_at_ ? now : free_at_;
+    free_at_ = start + hold;
+    return {start, free_at_};
+  }
+
+  /// Next instant at which the resource is idle.
+  Time free_at() const { return free_at_; }
+
+  void reset() { free_at_ = 0; }
+
+ private:
+  Time free_at_ = 0;
+};
+
+/// A store-and-forward bandwidth pipe: transfers serialize, each taking
+/// latency + bytes/rate. Concurrent users share the aggregate bandwidth by
+/// queueing, which matches how sustained streams share a memory link.
+class BandwidthResource {
+ public:
+  /// `bytes_per_us`: sustained bandwidth in bytes per microsecond
+  /// (1 GB/s == 1000 bytes/us). `latency`: fixed per-transfer setup cost.
+  BandwidthResource(double bytes_per_us, Time latency = 0)
+      : ns_per_byte_(1000.0 / bytes_per_us), latency_(latency) {}
+
+  /// Reserve the pipe for a transfer of `bytes` starting no earlier than `now`.
+  Slot transfer(Time now, std::uint64_t bytes) {
+    const Time dur = latency_ + duration(bytes);
+    return line_.reserve(now, dur);
+  }
+
+  /// Unloaded service time for `bytes` (no queueing).
+  Time duration(std::uint64_t bytes) const {
+    return static_cast<Time>(static_cast<double>(bytes) * ns_per_byte_ + 0.5);
+  }
+
+  double bytes_per_us() const { return 1000.0 / ns_per_byte_; }
+  Time latency() const { return latency_; }
+  Time free_at() const { return line_.free_at(); }
+  void reset() { line_.reset(); }
+
+ private:
+  double ns_per_byte_;
+  Time latency_;
+  Timeline line_;
+};
+
+}  // namespace numasim::sim

@@ -1,0 +1,73 @@
+// Cost-category accounting (the instrumentation behind the paper's Fig. 6).
+//
+// Every nanosecond the simulated kernel or user library spends is attributed
+// to one CostKind; benchmarks aggregate these to print the paper's
+// "Next-Touch Migration Cost Percentage" breakdowns.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace numasim::sim {
+
+enum class CostKind : std::uint8_t {
+  kCompute,             // user-space arithmetic
+  kMemAccess,           // user-space loads/stores through the cache model
+  kSyscallEntry,        // kernel entry/exit trampolines
+  kMovePagesControl,    // move_pages: locking, page-table walks, status arrays
+  kMovePagesCopy,       // move_pages: the actual page copies
+  kMigratePagesControl, // migrate_pages: VMA traversal and bookkeeping
+  kMigratePagesCopy,    // migrate_pages: the actual page copies
+  kPageFault,           // fault entry + VMA lookup + PTE inspection
+  kSignalDelivery,      // SIGSEGV delivery + sigreturn
+  kUserHandler,         // user-space work inside a signal handler
+  kMprotectMark,        // mprotect() used to arm user next-touch
+  kMprotectRestore,     // mprotect() restoring protection after migration
+  kMadvise,             // madvise(MADV_MIGRATE_ON_NEXT_TOUCH) marking
+  kNextTouchControl,    // kernel next-touch fault path bookkeeping
+  kNextTouchCopy,       // kernel next-touch page copies
+  kTlbShootdown,        // remote TLB invalidation IPIs
+  kReplicaControl,      // replication bookkeeping (extension)
+  kReplicaCopy,         // replica page copies (extension)
+  kLockWait,            // queueing on the page-table lock
+  kAllocZero,           // first-touch allocation + zero-fill
+  kOther,
+  kCount
+};
+
+constexpr std::size_t kCostKindCount = static_cast<std::size_t>(CostKind::kCount);
+
+std::string_view cost_kind_name(CostKind k);
+
+/// Per-thread (or per-run) accumulator of time by category.
+class CostStats {
+ public:
+  void add(CostKind k, Time t) { ns_[static_cast<std::size_t>(k)] += t; }
+  Time get(CostKind k) const { return ns_[static_cast<std::size_t>(k)]; }
+
+  Time total() const {
+    Time sum = 0;
+    for (Time t : ns_) sum += t;
+    return sum;
+  }
+
+  double fraction(CostKind k) const {
+    const Time t = total();
+    return t == 0 ? 0.0 : static_cast<double>(get(k)) / static_cast<double>(t);
+  }
+
+  CostStats& operator+=(const CostStats& o) {
+    for (std::size_t i = 0; i < kCostKindCount; ++i) ns_[i] += o.ns_[i];
+    return *this;
+  }
+
+  void reset() { ns_.fill(0); }
+
+ private:
+  std::array<Time, kCostKindCount> ns_{};
+};
+
+}  // namespace numasim::sim

@@ -1,0 +1,155 @@
+// Minimal lazy coroutine task type used for simulated-thread bodies.
+//
+// A Task<T> is a coroutine that starts suspended, runs when awaited (or when
+// started as a root task by the Engine), and resumes its awaiter via
+// symmetric transfer when it completes. Exceptions propagate to the awaiter;
+// for root tasks the Engine rethrows them from Engine::run().
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace numasim::sim {
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;           // who to resume on completion
+  std::exception_ptr exception;                   // captured error, if any
+  std::function<void()>* on_root_done = nullptr;  // set only for root tasks
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      PromiseBase& p = h.promise();
+      if (p.continuation) return p.continuation;
+      if (p.on_root_done != nullptr && *p.on_root_done) (*p.on_root_done)();
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    alignas(T) unsigned char storage[sizeof(T)];
+    bool has_value = false;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() { exception = std::current_exception(); }
+    template <typename U>
+    void return_value(U&& v) {
+      ::new (static_cast<void*>(storage)) T(std::forward<U>(v));
+      has_value = true;
+    }
+    T& value() { return *std::launder(reinterpret_cast<T*>(storage)); }
+    ~promise_type() {
+      if (has_value) value().~T();
+    }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  // Awaitable interface: starting the child and transferring control to it.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  T await_resume() {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+    return std::move(h_.promise().value());
+  }
+
+ private:
+  friend class Engine;
+  std::coroutine_handle<promise_type> release() { return std::exchange(h_, nullptr); }
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() { exception = std::current_exception(); }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+  }
+
+ private:
+  friend class Engine;
+  std::coroutine_handle<promise_type> release() { return std::exchange(h_, nullptr); }
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace numasim::sim

@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace numasim::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const double ns = static_cast<double>(t);
+  if (t < 10'000ull) {
+    std::snprintf(buf, sizeof buf, "%llu ns", static_cast<unsigned long long>(t));
+  } else if (t < 10'000'000ull) {
+    std::snprintf(buf, sizeof buf, "%.3f us", ns / 1e3);
+  } else if (t < 10'000'000'000ull) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace numasim::sim

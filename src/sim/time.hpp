@@ -1,0 +1,39 @@
+// Simulated time: 64-bit unsigned nanoseconds.
+//
+// All durations and instants in the simulator use this unit. Helpers below
+// convert from human units and format instants for reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace numasim::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+/// Largest representable instant; used as "never".
+inline constexpr Time kTimeNever = ~Time{0};
+
+constexpr Time nanoseconds(std::uint64_t v) { return v; }
+constexpr Time microseconds(std::uint64_t v) { return v * 1'000ull; }
+constexpr Time milliseconds(std::uint64_t v) { return v * 1'000'000ull; }
+constexpr Time seconds(std::uint64_t v) { return v * 1'000'000'000ull; }
+
+/// Convert an instant/duration to floating-point seconds (for reports).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+/// Convert to floating-point microseconds (for reports).
+constexpr double to_microseconds(Time t) { return static_cast<double>(t) * 1e-3; }
+
+/// Throughput in MB/s (decimal megabytes, as the paper plots) for `bytes`
+/// transferred over duration `t`. Returns 0 for a zero duration.
+constexpr double mb_per_second(std::uint64_t bytes, Time t) {
+  if (t == 0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / to_seconds(t);
+}
+
+/// Human-readable rendering, e.g. "1.234 ms" — for logs and examples.
+std::string format_time(Time t);
+
+}  // namespace numasim::sim

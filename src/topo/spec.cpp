@@ -1,0 +1,102 @@
+// Textual topology specs: build custom NUMA machines for the "larger
+// machine" experiments (paper Sec. 6: "running similar experiments on larger
+// NUMA machines where data locality is more critical").
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "topo/topology.hpp"
+
+namespace numasim::topo {
+
+namespace {
+
+std::unordered_map<std::string, std::string> parse_kv(const std::string& spec) {
+  std::unordered_map<std::string, std::string> kv;
+  std::istringstream is(spec);
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size())
+      throw std::invalid_argument{"Topology::from_spec: bad token '" + tok + "'"};
+    kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+double num(const std::unordered_map<std::string, std::string>& kv,
+           const std::string& key, double fallback) {
+  auto it = kv.find(key);
+  if (it == kv.end()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::invalid_argument{"Topology::from_spec: bad number for " + key};
+  return v;
+}
+
+}  // namespace
+
+Topology Topology::from_spec(const std::string& spec) {
+  const auto kv = parse_kv(spec);
+  for (const auto& [key, value] : kv) {
+    static const char* known[] = {"nodes",   "cores",  "shape",   "link_bw",
+                                  "hop_ns",  "dram_bw", "dram_ns", "l3_mb",
+                                  "mem_gb",  "ghz",    "flops_per_cycle"};
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) throw std::invalid_argument{"Topology::from_spec: unknown key " + key};
+  }
+
+  const auto nodes = static_cast<unsigned>(num(kv, "nodes", 0));
+  const auto cores = static_cast<unsigned>(num(kv, "cores", 0));
+  if (nodes == 0 || cores == 0)
+    throw std::invalid_argument{"Topology::from_spec: nodes= and cores= required"};
+
+  CoreSpec core;
+  core.clock_ghz = num(kv, "ghz", core.clock_ghz);
+  core.dp_flops_per_cycle = num(kv, "flops_per_cycle", core.dp_flops_per_cycle);
+
+  NodeSpec node;
+  node.dram_bytes_per_us = num(kv, "dram_bw", node.dram_bytes_per_us);
+  node.dram_latency = static_cast<sim::Time>(
+      num(kv, "dram_ns", static_cast<double>(node.dram_latency)));
+  node.l3_bytes = static_cast<std::uint64_t>(num(kv, "l3_mb", 2.0) * (1 << 20));
+  node.dram_capacity_bytes =
+      static_cast<std::uint64_t>(num(kv, "mem_gb", 8.0) * (1ull << 30));
+
+  LinkSpec proto;
+  proto.bytes_per_us = num(kv, "link_bw", proto.bytes_per_us);
+  proto.hop_latency = static_cast<sim::Time>(
+      num(kv, "hop_ns", static_cast<double>(proto.hop_latency)));
+
+  std::string shape = "ring";
+  if (auto it = kv.find("shape"); it != kv.end()) shape = it->second;
+
+  std::vector<LinkSpec> links;
+  auto link = [&](NodeId a, NodeId b) {
+    LinkSpec l = proto;
+    l.a = a;
+    l.b = b;
+    links.push_back(l);
+  };
+
+  if (shape == "ring") {
+    for (NodeId n = 0; n < nodes; ++n)
+      if (nodes > 1 && !(nodes == 2 && n == 1)) link(n, (n + 1) % nodes);
+  } else if (shape == "line") {
+    for (NodeId n = 0; n + 1 < nodes; ++n) link(n, n + 1);
+  } else if (shape == "mesh") {
+    for (NodeId a = 0; a < nodes; ++a)
+      for (NodeId b = a + 1; b < nodes; ++b) link(a, b);
+  } else if (shape == "star") {
+    for (NodeId n = 1; n < nodes; ++n) link(0, n);
+  } else {
+    throw std::invalid_argument{"Topology::from_spec: unknown shape " + shape};
+  }
+
+  return build(nodes, cores, core, node, std::move(links));
+}
+
+}  // namespace numasim::topo

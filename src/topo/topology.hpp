@@ -1,0 +1,130 @@
+// NUMA machine description: nodes, cores, caches, interconnect links.
+//
+// Topology is pure data — the dynamic contention state (DRAM / link
+// timelines) lives in rt::Machine. Link routes between every node pair are
+// precomputed with BFS so the memory model can charge each hop.
+//
+// The default machine (`quad_opteron()`) is the paper's evaluation host:
+// four quad-core Opteron 8347HE sockets, one memory node per socket,
+// HyperTransport square interconnect (Fig. 3), NUMA factor 1.2-1.4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace numasim::topo {
+
+using NodeId = std::uint32_t;
+using CoreId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// A set of NUMA nodes, as a bitmask (like Linux nodemask_t).
+using NodeMask = std::uint64_t;
+
+constexpr NodeMask node_mask_of(NodeId n) { return NodeMask{1} << n; }
+constexpr bool mask_contains(NodeMask m, NodeId n) { return (m >> n) & 1; }
+
+struct CoreSpec {
+  double clock_ghz = 1.9;        // Opteron 8347HE
+  double dp_flops_per_cycle = 4; // K10: 2 FMA-ish pipes x 2-wide SSE
+  /// Sustained fraction of peak a tuned BLAS3 kernel reaches.
+  double gemm_efficiency = 0.70;
+
+  double peak_gflops() const { return clock_ghz * dp_flops_per_cycle; }
+};
+
+struct NodeSpec {
+  /// Sustained local DRAM bandwidth (bytes per microsecond; 6400 = 6.4 GB/s).
+  double dram_bytes_per_us = 6400.0;
+  /// Local DRAM access latency.
+  sim::Time dram_latency = 75;
+  /// Installed memory per node (paper: 8 GB/node).
+  std::uint64_t dram_capacity_bytes = 8ull << 30;
+  /// Shared L3 per node (paper: 2 MB); used by the cache model.
+  std::uint64_t l3_bytes = 2ull << 20;
+};
+
+struct LinkSpec {
+  NodeId a = 0;
+  NodeId b = 0;
+  /// Sustained HyperTransport bandwidth per direction (bytes/us).
+  double bytes_per_us = 2200.0;
+  /// Added latency per hop across this link.
+  sim::Time hop_latency = 15;
+};
+
+class Topology {
+ public:
+  /// The paper's host: 4 nodes x 4 cores, square HT interconnect
+  /// 0-1, 1-3, 3-2, 2-0 (diagonals are two hops).
+  static Topology quad_opteron();
+
+  /// Two nodes, two cores each, one link — smallest interesting machine.
+  static Topology dual_node(unsigned cores_per_node = 2);
+
+  /// Fully custom machine. Links are bidirectional; the graph must connect
+  /// all nodes (throws std::invalid_argument otherwise).
+  static Topology build(unsigned nodes, unsigned cores_per_node,
+                        const CoreSpec& core, const NodeSpec& node,
+                        std::vector<LinkSpec> links);
+
+  /// Build from a compact textual spec, e.g.
+  ///   "nodes=8 cores=2 shape=ring link_bw=2200 hop_ns=15 dram_bw=6400"
+  /// Keys (all optional except nodes/cores): shape=ring|line|mesh|star,
+  /// link_bw (bytes/us), hop_ns, dram_bw (bytes/us), dram_ns, l3_mb,
+  /// mem_gb, ghz, flops_per_cycle. Throws std::invalid_argument on errors.
+  static Topology from_spec(const std::string& spec);
+
+  unsigned num_nodes() const { return static_cast<unsigned>(nodes_.size()); }
+  unsigned num_cores() const { return static_cast<unsigned>(core_node_.size()); }
+  unsigned num_links() const { return static_cast<unsigned>(links_.size()); }
+  unsigned cores_per_node() const { return cores_per_node_; }
+
+  const CoreSpec& core_spec() const { return core_; }
+  const NodeSpec& node_spec(NodeId n) const { return nodes_.at(n); }
+  const LinkSpec& link_spec(LinkId l) const { return links_.at(l); }
+
+  NodeId node_of_core(CoreId c) const { return core_node_.at(c); }
+  std::span<const CoreId> cores_of_node(NodeId n) const;
+
+  /// Number of interconnect hops between nodes (0 when a == b).
+  unsigned hops(NodeId a, NodeId b) const { return hops_[idx(a, b)]; }
+
+  /// The link ids traversed going from `a` to `b` (empty when a == b).
+  std::span<const LinkId> route(NodeId a, NodeId b) const;
+
+  /// Uncontended access latency from a core on `from` to DRAM on `to`.
+  sim::Time access_latency(NodeId from, NodeId to) const;
+
+  /// The paper's "NUMA factor": remote/local latency ratio.
+  double numa_factor(NodeId from, NodeId to) const;
+
+  /// Mask containing every node.
+  NodeMask all_nodes_mask() const {
+    return num_nodes() >= 64 ? ~NodeMask{0} : (NodeMask{1} << num_nodes()) - 1;
+  }
+
+  /// Human-readable dump (akin to `numactl --hardware`).
+  std::string describe() const;
+
+ private:
+  std::size_t idx(NodeId a, NodeId b) const { return std::size_t{a} * num_nodes() + b; }
+  void compute_routes();
+
+  CoreSpec core_;
+  unsigned cores_per_node_ = 0;
+  std::vector<NodeSpec> nodes_;
+  std::vector<LinkSpec> links_;
+  std::vector<NodeId> core_node_;             // core -> node
+  std::vector<std::vector<CoreId>> node_cores_;
+  std::vector<unsigned> hops_;                // n x n
+  std::vector<std::vector<LinkId>> routes_;   // n x n -> link path
+};
+
+}  // namespace numasim::topo

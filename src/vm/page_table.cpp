@@ -1,0 +1,20 @@
+#include "vm/page_table.hpp"
+
+namespace numasim::vm {
+
+void PageTable::clear_range(Vpn first, Vpn last) {
+  for (Vpn vpn = first; vpn < last; ++vpn) {
+    if (Pte* pte = find(vpn)) *pte = Pte{};
+  }
+}
+
+std::uint64_t PageTable::count_present(Vpn first, Vpn last) const {
+  std::uint64_t n = 0;
+  for (Vpn vpn = first; vpn < last; ++vpn) {
+    const Pte* pte = find(vpn);
+    if (pte != nullptr && pte->present()) ++n;
+  }
+  return n;
+}
+
+}  // namespace numasim::vm

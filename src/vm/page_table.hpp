@@ -1,0 +1,67 @@
+// Two-level radix page table keyed by virtual page number.
+//
+// Chunks of 512 PTEs (one 2 MiB-aligned region each) give dense storage and
+// cache-friendly walks for the multi-million-page worksets of Table 1, while
+// staying sparse across the 48-bit address space. A one-entry chunk cache
+// accelerates the sequential walks the kernel does constantly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "vm/pte.hpp"
+
+namespace numasim::vm {
+
+/// Virtual page number (virtual address >> 12).
+using Vpn = std::uint64_t;
+
+class PageTable {
+ public:
+  static constexpr unsigned kChunkBits = 9;
+  static constexpr std::uint64_t kChunkPages = 1ull << kChunkBits;
+
+  /// PTE for `vpn`, or nullptr if nothing was ever established there.
+  Pte* find(Vpn vpn) {
+    Chunk* c = chunk_of(vpn, /*create=*/false);
+    return c ? &(*c)[vpn & (kChunkPages - 1)] : nullptr;
+  }
+  const Pte* find(Vpn vpn) const {
+    return const_cast<PageTable*>(this)->find(vpn);
+  }
+
+  /// PTE for `vpn`, creating an empty one if needed.
+  Pte& ensure(Vpn vpn) {
+    return (*chunk_of(vpn, /*create=*/true))[vpn & (kChunkPages - 1)];
+  }
+
+  /// Reset all PTEs in [first, last) to empty (frames must already be freed).
+  void clear_range(Vpn first, Vpn last);
+
+  /// Number of present PTEs in [first, last) — O(pages), for tests.
+  std::uint64_t count_present(Vpn first, Vpn last) const;
+
+ private:
+  using Chunk = std::array<Pte, kChunkPages>;
+
+  Chunk* chunk_of(Vpn vpn, bool create) {
+    const std::uint64_t key = vpn >> kChunkBits;
+    if (key == cached_key_ && cached_chunk_ != nullptr) return cached_chunk_;
+    auto it = chunks_.find(key);
+    if (it == chunks_.end()) {
+      if (!create) return nullptr;
+      it = chunks_.emplace(key, std::make_unique<Chunk>()).first;
+    }
+    cached_key_ = key;
+    cached_chunk_ = it->second.get();
+    return cached_chunk_;
+  }
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+  std::uint64_t cached_key_ = ~0ull;
+  Chunk* cached_chunk_ = nullptr;
+};
+
+}  // namespace numasim::vm

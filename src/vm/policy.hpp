@@ -1,0 +1,73 @@
+// NUMA memory policies (the set_mempolicy / mbind modes the paper relies on).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+#include "vm/page_table.hpp"
+
+namespace numasim::vm {
+
+enum class PolicyMode : std::uint8_t {
+  kDefault,     // first-touch: allocate on the faulting core's node
+  kBind,        // allocate only within the node mask
+  kInterleave,  // round-robin across the node mask, by page offset
+  kPreferred,   // try one node, fall back near it
+};
+
+struct MemPolicy {
+  PolicyMode mode = PolicyMode::kDefault;
+  topo::NodeMask nodes = 0;
+
+  static MemPolicy first_touch() { return {PolicyMode::kDefault, 0}; }
+  static MemPolicy bind(topo::NodeMask m) { return {PolicyMode::kBind, m}; }
+  static MemPolicy interleave(topo::NodeMask m) { return {PolicyMode::kInterleave, m}; }
+  static MemPolicy preferred(topo::NodeId n) {
+    return {PolicyMode::kPreferred, topo::node_mask_of(n)};
+  }
+
+  friend bool operator==(const MemPolicy&, const MemPolicy&) = default;
+
+  /// Target node for a page at offset `pgoff` within its VMA, given the node
+  /// the faulting thread runs on. Interleave is offset-based (as in Linux),
+  /// so placement is deterministic and independent of fault order.
+  topo::NodeId target_node(std::uint64_t pgoff, topo::NodeId local,
+                           unsigned num_nodes) const {
+    switch (mode) {
+      case PolicyMode::kDefault:
+        return local;
+      case PolicyMode::kPreferred:
+        return first_node(num_nodes);
+      case PolicyMode::kBind:
+        return first_node(num_nodes);
+      case PolicyMode::kInterleave: {
+        const unsigned weight = popcount(num_nodes);
+        if (weight == 0) return local;
+        unsigned k = static_cast<unsigned>(pgoff % weight);
+        for (topo::NodeId n = 0; n < num_nodes; ++n) {
+          if (topo::mask_contains(nodes, n)) {
+            if (k == 0) return n;
+            --k;
+          }
+        }
+        return local;
+      }
+    }
+    return local;
+  }
+
+ private:
+  unsigned popcount(unsigned num_nodes) const {
+    unsigned c = 0;
+    for (topo::NodeId n = 0; n < num_nodes; ++n)
+      if (topo::mask_contains(nodes, n)) ++c;
+    return c;
+  }
+  topo::NodeId first_node(unsigned num_nodes) const {
+    for (topo::NodeId n = 0; n < num_nodes; ++n)
+      if (topo::mask_contains(nodes, n)) return n;
+    return topo::kInvalidNode;
+  }
+};
+
+}  // namespace numasim::vm

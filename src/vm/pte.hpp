@@ -1,0 +1,59 @@
+// Page-table entry, with the paper's migrate-on-next-touch flag.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/phys.hpp"
+
+namespace numasim::vm {
+
+/// Access protection bits (subset of PROT_*).
+enum class Prot : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+constexpr Prot operator|(Prot a, Prot b) {
+  return static_cast<Prot>(static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b));
+}
+constexpr bool prot_allows(Prot have, Prot want) {
+  return (static_cast<std::uint8_t>(have) & static_cast<std::uint8_t>(want)) ==
+         static_cast<std::uint8_t>(want);
+}
+
+struct Pte {
+  // Flag bits. kHwRead/kHwWrite are the *hardware* permissions in the PTE,
+  // which may be narrower than the owning VMA's protection: both next-touch
+  // implementations work by clearing them so the next access faults
+  // (paper Figs. 1 and 2).
+  static constexpr std::uint16_t kPresent = 1u << 0;
+  static constexpr std::uint16_t kHwRead = 1u << 1;
+  static constexpr std::uint16_t kHwWrite = 1u << 2;
+  static constexpr std::uint16_t kAccessed = 1u << 3;
+  static constexpr std::uint16_t kDirty = 1u << 4;
+  /// The kernel next-touch marker (the paper's new madvise semantics).
+  static constexpr std::uint16_t kNextTouch = 1u << 5;
+  /// Extension: this PTE points at a read-only replica (see kern/replication).
+  static constexpr std::uint16_t kReplica = 1u << 6;
+  /// Extension: part of a 2 MiB huge mapping (populated as a block; not
+  /// migratable, matching Linux circa 2009).
+  static constexpr std::uint16_t kHuge = 1u << 7;
+
+  mem::FrameId frame = mem::kInvalidFrame;
+  std::uint16_t flags = 0;
+
+  bool present() const { return flags & kPresent; }
+  bool next_touch() const { return flags & kNextTouch; }
+  bool hw_allows(Prot want) const {
+    if (!present()) return false;
+    if (prot_allows(want, Prot::kWrite) && !(flags & kHwWrite)) return false;
+    if (prot_allows(want, Prot::kRead) && !(flags & kHwRead)) return false;
+    return true;
+  }
+  void set(std::uint16_t f) { flags |= f; }
+  void clear(std::uint16_t f) { flags &= static_cast<std::uint16_t>(~f); }
+};
+
+}  // namespace numasim::vm

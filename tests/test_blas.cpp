@@ -1,0 +1,206 @@
+// Tests for the simulated BLAS: numeric correctness against host references
+// and timing-model properties (cache threshold, traffic amplification).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "lib/numalib.hpp"
+
+namespace numasim::blas {
+namespace {
+
+double idx_fill(std::uint64_t r, std::uint64_t c) {
+  return 0.25 * static_cast<double>(r % 13) - 0.5 * static_cast<double>(c % 7) + 1.0;
+}
+
+class BlasTest : public ::testing::Test {
+ protected:
+  rt::Machine m_;
+
+  /// Allocate + populate an n x n matrix through a thread.
+  static sim::Task<Matrix> make_matrix(rt::Thread& th, std::uint64_t n) {
+    const std::uint64_t bytes = n * n * kElemBytes;
+    const vm::Vaddr a = co_await th.mmap(bytes);
+    co_await th.touch(a, bytes);
+    co_return Matrix{a, n, n, n};
+  }
+};
+
+TEST_F(BlasTest, GemmMinusMatchesHostReference) {
+  m_.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    BlasEngine eng(m_, {.numeric = true});
+    const std::uint64_t n = 48;
+    const Matrix a = co_await make_matrix(th, n);
+    const Matrix b = co_await make_matrix(th, n);
+    const Matrix c = co_await make_matrix(th, n);
+    fill_matrix(m_, a, idx_fill);
+    fill_matrix(m_, b, [](std::uint64_t r, std::uint64_t cc) {
+      return idx_fill(cc, r) * 0.5;
+    });
+    fill_matrix(m_, c, [](std::uint64_t r, std::uint64_t cc) {
+      return idx_fill(r + 1, cc + 2);
+    });
+    const auto va = dump_matrix(m_, a);
+    const auto vb = dump_matrix(m_, b);
+    auto ref = dump_matrix(m_, c);
+
+    // Sub-tiles with a leading dimension (exercises strided addressing).
+    const std::uint64_t t = 32;
+    co_await eng.gemm_minus(th, Tile::of(a, 8, 8, t, t), Tile::of(b, 4, 12, t, t),
+                            Tile::of(c, 16, 0, t, t));
+
+    for (std::uint64_t i = 0; i < t; ++i)
+      for (std::uint64_t j = 0; j < t; ++j)
+        for (std::uint64_t l = 0; l < t; ++l)
+          ref[(16 + i) * n + j] -= va[(8 + i) * n + (8 + l)] * vb[(4 + l) * n + (12 + j)];
+
+    const auto got = dump_matrix(m_, c);
+    double max_err = 0;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      max_err = std::max(max_err, std::abs(got[i] - ref[i]));
+    EXPECT_LT(max_err, 1e-9);
+  });
+}
+
+TEST_F(BlasTest, Getf2TrsmGemmComposeToLu) {
+  // One full block-LU step on a 2x2 block matrix must equal the unblocked
+  // factorization of the whole matrix.
+  m_.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    BlasEngine eng(m_, {.numeric = true});
+    const std::uint64_t n = 32, half = 16;
+    const Matrix a = co_await make_matrix(th, n);
+    auto dominant = [](std::uint64_t r, std::uint64_t c) {
+      return r == c ? 40.0 : idx_fill(r, c);
+    };
+    fill_matrix(m_, a, dominant);
+    const auto orig = dump_matrix(m_, a);
+
+    // Reference: unblocked LU on the host.
+    auto ref = orig;
+    for (std::uint64_t k = 0; k < n; ++k)
+      for (std::uint64_t i = k + 1; i < n; ++i) {
+        ref[i * n + k] /= ref[k * n + k];
+        for (std::uint64_t j = k + 1; j < n; ++j)
+          ref[i * n + j] -= ref[i * n + k] * ref[k * n + j];
+      }
+
+    // Blocked: getf2(D00); trsm row+col; gemm update; getf2(D11).
+    co_await eng.getf2(th, Tile::of(a, 0, 0, half, half));
+    co_await eng.trsm_lower_left(th, Tile::of(a, 0, 0, half, half),
+                                 Tile::of(a, 0, half, half, half));
+    co_await eng.trsm_upper_right(th, Tile::of(a, 0, 0, half, half),
+                                  Tile::of(a, half, 0, half, half));
+    co_await eng.gemm_minus(th, Tile::of(a, half, 0, half, half),
+                            Tile::of(a, 0, half, half, half),
+                            Tile::of(a, half, half, half, half));
+    co_await eng.getf2(th, Tile::of(a, half, half, half, half));
+
+    const auto got = dump_matrix(m_, a);
+    double max_rel_err = 0;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      max_rel_err = std::max(max_rel_err,
+                             std::abs(got[i] - ref[i]) / (1.0 + std::abs(ref[i])));
+    EXPECT_LT(max_rel_err, 1e-6);
+  });
+}
+
+TEST_F(BlasTest, AxpyAndDotNumerics) {
+  m_.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    BlasEngine eng(m_, {.numeric = true});
+    const std::uint64_t n = 1000;
+    const vm::Vaddr x = co_await th.mmap(n * kElemBytes);
+    const vm::Vaddr y = co_await th.mmap(n * kElemBytes);
+    co_await th.touch(x, n * kElemBytes);
+    co_await th.touch(y, n * kElemBytes);
+    std::vector<double> vx(n), vy(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      vx[i] = static_cast<double>(i) * 0.01;
+      vy[i] = 1.0;
+    }
+    m_.kernel().poke(m_.pid(), x,
+                     {reinterpret_cast<std::byte*>(vx.data()), n * kElemBytes});
+    m_.kernel().poke(m_.pid(), y,
+                     {reinterpret_cast<std::byte*>(vy.data()), n * kElemBytes});
+
+    co_await eng.axpy(th, 2.0, x, y, n);
+    const double d = co_await eng.dot(th, x, y, n);
+    double expect = 0;
+    for (std::uint64_t i = 0; i < n; ++i) expect += vx[i] * (1.0 + 2.0 * vx[i]);
+    EXPECT_NEAR(d, expect, 1e-6);
+  });
+}
+
+TEST_F(BlasTest, CacheResidentTilesAreCheaperPerByte) {
+  // Same total bytes: many small (L3-resident) GEMMs vs one large GEMM.
+  // The large one pays amplified traffic and must be slower.
+  m_.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    BlasEngine eng(m_, {});
+    const Matrix big = co_await make_matrix(th, 1024);
+    const Matrix small = co_await make_matrix(th, 128);
+
+    const sim::Time t0 = th.now();
+    co_await eng.gemm_minus(th, Tile::of(small, 0, 0, 128, 128),
+                            Tile::of(small, 0, 0, 128, 128),
+                            Tile::of(small, 0, 0, 128, 128));
+    const sim::Time small_time = th.now() - t0;
+
+    const sim::Time t1 = th.now();
+    co_await eng.gemm_minus(th, Tile::of(big, 0, 0, 1024, 1024),
+                            Tile::of(big, 0, 0, 1024, 1024),
+                            Tile::of(big, 0, 0, 1024, 1024));
+    const sim::Time big_time = th.now() - t1;
+
+    // 512x more flops; amplified traffic makes it much worse than 512x.
+    EXPECT_GT(big_time, 512 * small_time);
+  });
+}
+
+TEST_F(BlasTest, RemoteTilesSlowerThanLocalWhenOutOfCache) {
+  m_.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    BlasEngine eng(m_, {});
+    const std::uint64_t n = 512;
+    const std::uint64_t bytes = n * n * kElemBytes;
+    const vm::Vaddr local = co_await th.mmap(bytes, vm::Prot::kReadWrite,
+                                             vm::MemPolicy::bind(0b0001));
+    const vm::Vaddr remote = co_await th.mmap(bytes, vm::Prot::kReadWrite,
+                                              vm::MemPolicy::bind(0b1000));
+    co_await th.touch(local, bytes);
+    co_await th.touch(remote, bytes);
+    const Matrix ml{local, n, n, n}, mr{remote, n, n, n};
+
+    const sim::Time t0 = th.now();
+    co_await eng.gemm_minus(th, Tile::of(ml, 0, 0, n, n), Tile::of(ml, 0, 0, n, n),
+                            Tile::of(ml, 0, 0, n, n));
+    const sim::Time local_time = th.now() - t0;
+
+    const sim::Time t1 = th.now();
+    co_await eng.gemm_minus(th, Tile::of(mr, 0, 0, n, n), Tile::of(mr, 0, 0, n, n),
+                            Tile::of(mr, 0, 0, n, n));
+    const sim::Time remote_time = th.now() - t1;
+
+    EXPECT_GT(remote_time, local_time);
+    EXPECT_LT(remote_time, 2 * local_time);  // bounded by the NUMA factor-ish
+  });
+}
+
+TEST_F(BlasTest, NumericModeRequiresMaterializedMemory) {
+  rt::Machine::Config cfg;
+  cfg.backing = mem::Backing::kPhantom;
+  rt::Machine phantom(cfg);
+  EXPECT_THROW(BlasEngine(phantom, {.numeric = true}), std::invalid_argument);
+  BlasEngine timing_only(phantom, {});  // fine
+}
+
+TEST_F(BlasTest, TileAddressing) {
+  const Matrix m{0x1000, 64, 64, 64};
+  const Tile t = Tile::of(m, 8, 16, 4, 4);
+  EXPECT_EQ(t.base, 0x1000 + (8 * 64 + 16) * kElemBytes);
+  EXPECT_EQ(t.row_addr(2), t.base + 2 * 64 * kElemBytes);
+  EXPECT_EQ(t.row_bytes(), 32u);
+  EXPECT_EQ(t.touched_bytes(), 128u);
+}
+
+}  // namespace
+}  // namespace numasim::blas

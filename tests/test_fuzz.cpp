@@ -1,0 +1,174 @@
+// Randomized stress: drive the kernel with arbitrary sequences of mm
+// operations from a seeded PRNG and audit the full consistency invariants
+// after every step (Kernel::validate). Catches frame leaks, dangling PTEs,
+// replica aliasing and flag-state corruption that targeted tests miss.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "sim/rng.hpp"
+
+namespace numasim::kern {
+namespace {
+
+class Fuzzer {
+ public:
+  Fuzzer(std::uint64_t seed, mem::Backing backing)
+      : topo_(topo::Topology::quad_opteron()),
+        k_(topo_, backing, {}, /*max_frames_per_node=*/4096),
+        rng_(seed) {
+    k_.set_replication_enabled(true);
+    pid_ = k_.create_process("fuzz");
+    k_.set_sigsegv_handler(pid_, [this](ThreadCtx& t, const SigInfo& info) {
+      // Handler: restore full access to the faulting region if we armed it.
+      for (const auto& r : regions_) {
+        if (info.fault_addr >= r.addr && info.fault_addr < r.addr + r.len) {
+          k_.sys_mprotect(t, r.addr, r.len, vm::Prot::kReadWrite);
+          return;
+        }
+      }
+      throw SegfaultError{info.fault_addr};
+    });
+  }
+
+  void step() {
+    ThreadCtx t;
+    t.pid = pid_;
+    t.core = static_cast<topo::CoreId>(rng_.below(topo_.num_cores()));
+    t.clock = clock_;
+
+    switch (rng_.below(regions_.empty() ? 1 : 10)) {
+      case 0: {  // mmap
+        if (regions_.size() < 12) {
+          Region r;
+          r.pages = 1 + rng_.below(64);
+          r.len = r.pages * mem::kPageSize;
+          const vm::MemPolicy pol = random_policy();
+          r.addr = k_.sys_mmap(t, r.len, vm::Prot::kReadWrite, pol, "fuzz");
+          regions_.push_back(r);
+        }
+        break;
+      }
+      case 1: {  // munmap
+        const std::size_t i = rng_.below(regions_.size());
+        k_.sys_munmap(t, regions_[i].addr, regions_[i].len);
+        regions_.erase(regions_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 2:
+      case 3: {  // touch a random sub-range
+        const Region& r = pick();
+        const std::uint64_t off = rng_.below(r.len);
+        const std::uint64_t len = 1 + rng_.below(r.len - off);
+        k_.access(t, r.addr + off, len,
+                  rng_.chance(0.5) ? vm::Prot::kRead : vm::Prot::kReadWrite, 3500.0);
+        break;
+      }
+      case 4: {  // madvise next-touch
+        const Region& r = pick();
+        k_.sys_madvise(t, r.addr, r.len, Advice::kMigrateOnNextTouch);
+        break;
+      }
+      case 5: {  // madvise replicate or dontneed
+        const Region& r = pick();
+        k_.sys_madvise(t, r.addr, r.len,
+                       rng_.chance(0.5) ? Advice::kReplicate : Advice::kDontNeed);
+        break;
+      }
+      case 6: {  // move_pages of a random subset
+        const Region& r = pick();
+        std::vector<vm::Vaddr> pages;
+        for (std::uint64_t pg = 0; pg < r.pages; ++pg)
+          if (rng_.chance(0.4)) pages.push_back(r.addr + pg * mem::kPageSize);
+        if (pages.empty()) break;
+        std::vector<topo::NodeId> nodes(pages.size());
+        for (auto& n : nodes)
+          n = static_cast<topo::NodeId>(rng_.below(topo_.num_nodes()));
+        std::vector<int> status(pages.size());
+        k_.sys_move_pages(t, pages, nodes, status);
+        break;
+      }
+      case 7: {  // ranged interface / mbind-with-move
+        const Region& r = pick();
+        if (rng_.chance(0.5)) {
+          const std::vector<Kernel::MoveRange> ranges{
+              {r.addr, r.len,
+               static_cast<topo::NodeId>(rng_.below(topo_.num_nodes()))}};
+          k_.sys_move_pages_ranged(t, ranges);
+        } else {
+          k_.sys_mbind(t, r.addr, r.len, random_policy(), true);
+        }
+        break;
+      }
+      case 8: {  // mprotect none (handler will repair on next touch)
+        const Region& r = pick();
+        k_.sys_mprotect(t, r.addr, r.len, vm::Prot::kNone);
+        break;
+      }
+      case 9: {  // migrate the whole process
+        k_.sys_migrate_pages(t, pid_, rng_.between(1, 15), rng_.between(1, 15));
+        break;
+      }
+    }
+    clock_ = t.clock;
+    k_.validate(pid_);
+  }
+
+  void finish() {
+    ThreadCtx t;
+    t.pid = pid_;
+    t.clock = clock_;
+    for (const Region& r : regions_) k_.sys_munmap(t, r.addr, r.len);
+    regions_.clear();
+    k_.validate(pid_);
+    EXPECT_EQ(k_.phys().total_used_frames(), 0u);
+  }
+
+ private:
+  struct Region {
+    vm::Vaddr addr = 0;
+    std::uint64_t len = 0;
+    std::uint64_t pages = 0;
+  };
+
+  const Region& pick() { return regions_[rng_.below(regions_.size())]; }
+
+  vm::MemPolicy random_policy() {
+    switch (rng_.below(4)) {
+      case 0: return vm::MemPolicy::first_touch();
+      case 1: return vm::MemPolicy::bind(
+          topo::node_mask_of(static_cast<topo::NodeId>(rng_.below(4))));
+      case 2: return vm::MemPolicy::interleave(rng_.between(1, 15));
+      default: return vm::MemPolicy::preferred(
+          static_cast<topo::NodeId>(rng_.below(4)));
+    }
+  }
+
+  topo::Topology topo_;
+  kern::Kernel k_;
+  sim::Rng rng_;
+  Pid pid_ = 0;
+  sim::Time clock_ = 0;
+  std::vector<Region> regions_;
+};
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, RandomOpSequencesKeepInvariantsPhantom) {
+  Fuzzer f(GetParam(), mem::Backing::kPhantom);
+  for (int i = 0; i < 400; ++i) f.step();
+  f.finish();
+}
+
+TEST_P(FuzzTest, RandomOpSequencesKeepInvariantsMaterialized) {
+  Fuzzer f(GetParam() ^ 0xabcdef, mem::Backing::kMaterialized);
+  for (int i = 0; i < 200; ++i) f.step();
+  f.finish();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1, 7, 1234, 99991, 0xdeadbeef));
+
+}  // namespace
+}  // namespace numasim::kern

@@ -1,0 +1,508 @@
+// Unit tests for the simulated kernel: policies, faults, move_pages,
+// migrate_pages, madvise(MIGRATE_ON_NEXT_TOUCH), mprotect + SIGSEGV.
+//
+// The kernel API is synchronous (the coroutine runtime sits above it), so
+// these tests drive it directly with hand-built ThreadCtx objects.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "kern/kernel.hpp"
+
+namespace numasim::kern {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest()
+      : topo_(topo::Topology::quad_opteron()),
+        k_(topo_, mem::Backing::kMaterialized) {
+    pid_ = k_.create_process("test");
+  }
+
+  ThreadCtx ctx_on(topo::CoreId core) {
+    ThreadCtx t;
+    t.pid = pid_;
+    t.core = core;
+    return t;
+  }
+
+  std::vector<vm::Vaddr> pages_of(vm::Vaddr addr, std::uint64_t len) {
+    std::vector<vm::Vaddr> v;
+    for (vm::Vpn p = vm::vpn_of(addr); p < vm::vpn_of(addr + len - 1) + 1; ++p)
+      v.push_back(vm::addr_of(p));
+    return v;
+  }
+
+  topo::Topology topo_;
+  Kernel k_;
+  Pid pid_ = 0;
+};
+
+TEST_F(KernelTest, FirstTouchAllocatesOnLocalNode) {
+  ThreadCtx t = ctx_on(4);  // node 1
+  const vm::Vaddr a = k_.sys_mmap(t, 8 * mem::kPageSize, vm::Prot::kReadWrite);
+  EXPECT_EQ(k_.page_node(pid_, a), topo::kInvalidNode);  // lazy
+
+  const AccessResult r =
+      k_.access(t, a, 8 * mem::kPageSize, vm::Prot::kReadWrite, 3500.0);
+  EXPECT_EQ(r.pages, 8u);
+  EXPECT_EQ(r.minor_faults, 8u);
+  for (vm::Vaddr p : pages_of(a, 8 * mem::kPageSize))
+    EXPECT_EQ(k_.page_node(pid_, p), 1u);
+  EXPECT_GT(t.clock, 0u);
+  EXPECT_EQ(k_.stats().minor_faults, 8u);
+}
+
+TEST_F(KernelTest, InterleavePolicySpreadsPagesDeterministically) {
+  ThreadCtx t = ctx_on(0);
+  const vm::Vaddr a =
+      k_.sys_mmap(t, 8 * mem::kPageSize, vm::Prot::kReadWrite,
+                  vm::MemPolicy::interleave(topo_.all_nodes_mask()));
+  k_.access(t, a, 8 * mem::kPageSize, vm::Prot::kWrite, 3500.0);
+  for (unsigned i = 0; i < 8; ++i)
+    EXPECT_EQ(k_.page_node(pid_, a + i * mem::kPageSize), i % 4);
+}
+
+TEST_F(KernelTest, BindPolicyPinsToNode) {
+  ThreadCtx t = ctx_on(0);  // node 0
+  const vm::Vaddr a = k_.sys_mmap(t, 4 * mem::kPageSize, vm::Prot::kReadWrite,
+                                  vm::MemPolicy::bind(topo::node_mask_of(3)));
+  k_.access(t, a, 4 * mem::kPageSize, vm::Prot::kWrite, 3500.0);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, 4 * mem::kPageSize, 3), 4u);
+}
+
+TEST_F(KernelTest, TaskPolicyAppliesWhenVmaIsDefault) {
+  ThreadCtx t = ctx_on(0);
+  k_.sys_set_mempolicy(t, vm::MemPolicy::preferred(2));
+  const vm::Vaddr a = k_.sys_mmap(t, 2 * mem::kPageSize, vm::Prot::kReadWrite);
+  k_.access(t, a, 2 * mem::kPageSize, vm::Prot::kWrite, 3500.0);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, 2 * mem::kPageSize, 2), 2u);
+
+  vm::MemPolicy out;
+  k_.sys_get_mempolicy(t, out);
+  EXPECT_EQ(out.mode, vm::PolicyMode::kPreferred);
+}
+
+TEST_F(KernelTest, GetcpuReportsCoreAndNode) {
+  ThreadCtx t = ctx_on(9);
+  topo::CoreId core = 0;
+  topo::NodeId node = 0;
+  EXPECT_EQ(k_.sys_getcpu(t, &core, &node), 0);
+  EXPECT_EQ(core, 9u);
+  EXPECT_EQ(node, 2u);
+}
+
+TEST_F(KernelTest, MovePagesMigratesAndPreservesData) {
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 16 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+
+  std::vector<std::byte> payload(len);
+  for (std::size_t i = 0; i < len; ++i) payload[i] = static_cast<std::byte>(i * 7);
+  ASSERT_TRUE(k_.poke(pid_, a, payload));
+
+  const auto pages = pages_of(a, len);
+  std::vector<topo::NodeId> nodes(pages.size(), 2);
+  std::vector<int> status(pages.size(), -1);
+  EXPECT_EQ(k_.sys_move_pages(t, pages, nodes, status), 0);
+  for (int s : status) EXPECT_EQ(s, 2);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, len, 2), 16u);
+  EXPECT_EQ(k_.stats().pages_migrated_move, 16u);
+
+  std::vector<std::byte> readback(len);
+  ASSERT_TRUE(k_.peek(pid_, a, readback));
+  EXPECT_EQ(readback, payload);
+}
+
+TEST_F(KernelTest, MovePagesQueryModeReportsLocations) {
+  ThreadCtx t = ctx_on(12);  // node 3
+  const vm::Vaddr a = k_.sys_mmap(t, 4 * mem::kPageSize, vm::Prot::kReadWrite);
+  k_.access(t, a, 4 * mem::kPageSize, vm::Prot::kWrite, 3500.0);
+
+  const auto pages = pages_of(a, 4 * mem::kPageSize);
+  std::vector<int> status(pages.size(), -1);
+  EXPECT_EQ(k_.sys_move_pages(t, pages, {}, status), 0);
+  for (int s : status) EXPECT_EQ(s, 3);
+}
+
+TEST_F(KernelTest, MovePagesReportsEfaultForUnmappedAndAbsent) {
+  ThreadCtx t = ctx_on(0);
+  const vm::Vaddr a = k_.sys_mmap(t, 2 * mem::kPageSize, vm::Prot::kReadWrite);
+  k_.access(t, a, mem::kPageSize, vm::Prot::kWrite, 3500.0);  // only first page
+
+  const std::vector<vm::Vaddr> pages{a, a + mem::kPageSize, 0x10};
+  std::vector<topo::NodeId> nodes(3, 1);
+  std::vector<int> status(3, 0);
+  EXPECT_EQ(k_.sys_move_pages(t, pages, nodes, status), 0);
+  EXPECT_EQ(status[0], 1);
+  EXPECT_EQ(status[1], -kEFAULT);  // never touched
+  EXPECT_EQ(status[2], -kEFAULT);  // unmapped
+}
+
+TEST_F(KernelTest, MovePagesArgumentValidation) {
+  ThreadCtx t = ctx_on(0);
+  std::vector<vm::Vaddr> pages{0x1000};
+  std::vector<topo::NodeId> nodes{0, 1};
+  std::vector<int> status(1);
+  EXPECT_EQ(k_.sys_move_pages(t, pages, nodes, status), -kEINVAL);
+  std::vector<topo::NodeId> bad{99};
+  EXPECT_EQ(k_.sys_move_pages(t, pages, bad, status), 0);
+  EXPECT_EQ(status[0], -kEFAULT);  // unmapped wins over bad node here
+}
+
+TEST_F(KernelTest, QuadraticImplIsSlowerOnLargeRequests) {
+  // Same end state, radically different cost — the Fig. 4 pathology.
+  auto run = [&](MovePagesImpl impl) {
+    ThreadCtx t = ctx_on(0);
+    const std::uint64_t len = 2048 * mem::kPageSize;
+    const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+    k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+    k_.set_move_pages_impl(impl);
+    const auto pages = pages_of(a, len);
+    std::vector<topo::NodeId> nodes(pages.size(), 1);
+    std::vector<int> status(pages.size(), 0);
+    const sim::Time t0 = t.clock;
+    EXPECT_EQ(k_.sys_move_pages(t, pages, nodes, status), 0);
+    k_.set_move_pages_impl(MovePagesImpl::kLinear);
+    EXPECT_EQ(k_.pages_on_node(pid_, a, len, 1), 2048u);
+    return t.clock - t0;
+  };
+  const sim::Time linear = run(MovePagesImpl::kLinear);
+  const sim::Time quadratic = run(MovePagesImpl::kQuadratic);
+  EXPECT_GT(quadratic, 2 * linear);
+}
+
+TEST_F(KernelTest, MigratePagesMovesWholeProcess) {
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 32 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  const vm::Vaddr b = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  k_.access(t, b, len, vm::Prot::kWrite, 3500.0);
+  ASSERT_EQ(k_.pages_on_node(pid_, a, len, 0), 32u);
+
+  const long moved = k_.sys_migrate_pages(t, pid_, topo::node_mask_of(0),
+                                          topo::node_mask_of(2));
+  EXPECT_EQ(moved, 64);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, len, 2), 32u);
+  EXPECT_EQ(k_.pages_on_node(pid_, b, len, 2), 32u);
+  EXPECT_EQ(k_.stats().pages_migrated_process, 64u);
+}
+
+TEST_F(KernelTest, MigratePagesRelativeNodeMapping) {
+  ThreadCtx t = ctx_on(0);
+  const vm::Vaddr a =
+      k_.sys_mmap(t, 8 * mem::kPageSize, vm::Prot::kReadWrite,
+                  vm::MemPolicy::interleave(0b0011));  // nodes 0,1
+  k_.access(t, a, 8 * mem::kPageSize, vm::Prot::kWrite, 3500.0);
+
+  // {0,1} -> {2,3}: 0->2, 1->3.
+  EXPECT_EQ(k_.sys_migrate_pages(t, pid_, 0b0011, 0b1100), 8);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, 8 * mem::kPageSize, 2), 4u);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, 8 * mem::kPageSize, 3), 4u);
+}
+
+TEST_F(KernelTest, NextTouchMigratesToTouchingNode) {
+  ThreadCtx t0 = ctx_on(0);  // node 0
+  const std::uint64_t len = 8 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t0, len, vm::Prot::kReadWrite);
+  k_.access(t0, a, len, vm::Prot::kWrite, 3500.0);
+  std::vector<std::byte> payload(len);
+  for (std::size_t i = 0; i < len; ++i) payload[i] = static_cast<std::byte>(i);
+  ASSERT_TRUE(k_.poke(pid_, a, payload));
+
+  EXPECT_EQ(k_.sys_madvise(t0, a, len, Advice::kMigrateOnNextTouch), 0);
+
+  ThreadCtx t2 = ctx_on(8);  // node 2
+  const AccessResult r = k_.access(t2, a, len, vm::Prot::kRead, 3500.0);
+  EXPECT_EQ(r.nexttouch_migrations, 8u);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, len, 2), 8u);
+
+  std::vector<std::byte> readback(len);
+  ASSERT_TRUE(k_.peek(pid_, a, readback));
+  EXPECT_EQ(readback, payload);
+
+  // Flag is one-shot: a later touch from elsewhere does not migrate.
+  ThreadCtx t1 = ctx_on(4);
+  const AccessResult r2 = k_.access(t1, a, len, vm::Prot::kRead, 3500.0);
+  EXPECT_EQ(r2.nexttouch_migrations, 0u);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, len, 2), 8u);
+}
+
+TEST_F(KernelTest, NextTouchLocalTouchJustRearms) {
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 4 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  k_.sys_madvise(t, a, len, Advice::kMigrateOnNextTouch);
+
+  const AccessResult r = k_.access(t, a, len, vm::Prot::kRead, 3500.0);
+  EXPECT_EQ(r.nexttouch_migrations, 0u);
+  EXPECT_EQ(r.nexttouch_hits_local, 4u);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, len, 0), 4u);
+}
+
+TEST_F(KernelTest, NextTouchOnUntouchedPagesIsFirstTouch) {
+  ThreadCtx t0 = ctx_on(0);
+  const std::uint64_t len = 4 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t0, len, vm::Prot::kReadWrite);
+  // Nothing present yet; madvise marks nothing.
+  EXPECT_EQ(k_.sys_madvise(t0, a, len, Advice::kMigrateOnNextTouch), 0);
+  ThreadCtx t3 = ctx_on(12);
+  const AccessResult r = k_.access(t3, a, len, vm::Prot::kWrite, 3500.0);
+  EXPECT_EQ(r.minor_faults, 4u);
+  EXPECT_EQ(r.nexttouch_migrations, 0u);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, len, 3), 4u);
+}
+
+TEST_F(KernelTest, MadviseDontNeedDropsPages) {
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 4 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  const std::uint64_t used = k_.phys().total_used_frames();
+  EXPECT_EQ(k_.sys_madvise(t, a, len, Advice::kDontNeed), 0);
+  EXPECT_EQ(k_.phys().total_used_frames(), used - 4);
+  EXPECT_EQ(k_.page_node(pid_, a), topo::kInvalidNode);
+  // Next touch zero-fills afresh.
+  const AccessResult r = k_.access(t, a, len, vm::Prot::kRead, 3500.0);
+  EXPECT_EQ(r.minor_faults, 4u);
+}
+
+TEST_F(KernelTest, MprotectNoneRaisesSegvAndHandlerRepairs) {
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 2 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  EXPECT_EQ(k_.sys_mprotect(t, a, len, vm::Prot::kNone), 0);
+
+  unsigned handler_calls = 0;
+  k_.set_sigsegv_handler(pid_, [&](ThreadCtx& ht, const SigInfo& info) {
+    ++handler_calls;
+    EXPECT_EQ(info.fault_addr, a);
+    k_.sys_mprotect(ht, a, len, vm::Prot::kReadWrite,
+                    sim::CostKind::kMprotectRestore);
+  });
+
+  const AccessResult r = k_.access(t, a, len, vm::Prot::kRead, 3500.0);
+  EXPECT_EQ(handler_calls, 1u);
+  EXPECT_EQ(r.sigsegv_delivered, 1u);
+  EXPECT_GT(t.stats.get(sim::CostKind::kSignalDelivery), 0u);
+}
+
+TEST_F(KernelTest, UnhandledSegvThrows) {
+  ThreadCtx t = ctx_on(0);
+  EXPECT_THROW(k_.access(t, 0x10, 8, vm::Prot::kRead, 3500.0), SegfaultError);
+}
+
+TEST_F(KernelTest, HandlerThatDoesNotRepairThrowsAfterRetries) {
+  ThreadCtx t = ctx_on(0);
+  const vm::Vaddr a = k_.sys_mmap(t, mem::kPageSize, vm::Prot::kRead);
+  k_.set_sigsegv_handler(pid_, [](ThreadCtx&, const SigInfo&) {});
+  EXPECT_THROW(k_.access(t, a, 8, vm::Prot::kWrite, 3500.0), SegfaultError);
+}
+
+TEST_F(KernelTest, ReadWriteBytesRoundtripAcrossPages) {
+  ThreadCtx t = ctx_on(0);
+  const vm::Vaddr a = k_.sys_mmap(t, 3 * mem::kPageSize, vm::Prot::kReadWrite);
+  std::vector<std::byte> data(5000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i * 13);
+  const vm::Vaddr mid = a + mem::kPageSize - 100;  // crosses two boundaries
+  EXPECT_EQ(k_.write_bytes(t, mid, data), 0);
+  std::vector<std::byte> out(5000);
+  EXPECT_EQ(k_.read_bytes(t, mid, out), 0);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(KernelTest, UserMemcpyCopiesAndFaultsDestination) {
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 8 * mem::kPageSize;
+  const vm::Vaddr src = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  const vm::Vaddr dst = k_.sys_mmap(t, len, vm::Prot::kReadWrite,
+                                    vm::MemPolicy::bind(topo::node_mask_of(1)));
+  k_.access(t, src, len, vm::Prot::kWrite, 3500.0);
+  std::vector<std::byte> data(len);
+  for (std::size_t i = 0; i < len; ++i) data[i] = static_cast<std::byte>(i ^ 0x5a);
+  ASSERT_TRUE(k_.poke(pid_, src, data));
+
+  EXPECT_EQ(k_.user_memcpy(t, dst, src, len), 0);
+  EXPECT_EQ(k_.pages_on_node(pid_, dst, len, 1), 8u);
+  std::vector<std::byte> out(len);
+  ASSERT_TRUE(k_.peek(pid_, dst, out));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(k_.user_memcpy(t, dst, src + len, mem::kPageSize), -kEFAULT);
+}
+
+TEST_F(KernelTest, MunmapFreesFramesAndUnmaps) {
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 6 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  const std::uint64_t used = k_.phys().total_used_frames();
+  EXPECT_EQ(k_.sys_munmap(t, a, len), 0);
+  EXPECT_EQ(k_.phys().total_used_frames(), used - 6);
+  EXPECT_THROW(k_.access(t, a, 8, vm::Prot::kRead, 3500.0), SegfaultError);
+}
+
+TEST_F(KernelTest, NumaMapsReportsPolicyAndPlacement) {
+  ThreadCtx t = ctx_on(0);
+  const vm::Vaddr a =
+      k_.sys_mmap(t, 4 * mem::kPageSize, vm::Prot::kReadWrite,
+                  vm::MemPolicy::interleave(topo_.all_nodes_mask()), "heap");
+  k_.access(t, a, 4 * mem::kPageSize, vm::Prot::kWrite, 3500.0);
+  const std::string maps = k_.numa_maps(pid_);
+  EXPECT_NE(maps.find("interleave"), std::string::npos);
+  EXPECT_NE(maps.find("anon=4"), std::string::npos);
+  EXPECT_NE(maps.find("N0=1"), std::string::npos);
+  EXPECT_NE(maps.find("N3=1"), std::string::npos);
+  EXPECT_NE(maps.find("[heap]"), std::string::npos);
+}
+
+TEST_F(KernelTest, RemoteStreamSlowerThanLocal) {
+  ThreadCtx local = ctx_on(0);
+  ThreadCtx remote = ctx_on(12);  // node 3, two hops from node 0
+  const std::uint64_t len = 64 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(local, len, vm::Prot::kReadWrite,
+                                  vm::MemPolicy::bind(topo::node_mask_of(0)));
+  k_.access(local, a, len, vm::Prot::kWrite, 3500.0);
+
+  local.clock = sim::seconds(100);  // hardware idle by then
+  local.stats.reset();
+  k_.access(local, a, len, vm::Prot::kRead, 3500.0);
+  const sim::Time local_time = local.clock - sim::seconds(100);
+
+  remote.clock = sim::seconds(200);
+  k_.access(remote, a, len, vm::Prot::kRead, 3500.0);
+  const sim::Time remote_time = remote.clock - sim::seconds(200);
+  EXPECT_GT(remote_time, local_time);
+  // Within an order of magnitude of the NUMA factor.
+  EXPECT_LT(remote_time, 2 * local_time);
+}
+
+TEST_F(KernelTest, AccessStridedFaultsAndCharges) {
+  ThreadCtx t = ctx_on(0);
+  // 16 rows of 1 KiB with a 16 KiB stride: touches 16 distinct pages.
+  const std::uint64_t stride = 4 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, 16 * stride, vm::Prot::kReadWrite);
+  const AccessResult r =
+      k_.access_strided(t, a, 16, 1024, stride, vm::Prot::kWrite, 3500.0, 1.0);
+  EXPECT_EQ(r.minor_faults, 16u);
+  EXPECT_GT(t.stats.get(sim::CostKind::kMemAccess), 0u);
+
+  // traffic_scale multiplies the data-plane charge. Start each probe at an
+  // instant where the hardware timelines are idle so queueing doesn't skew it.
+  ThreadCtx t2 = ctx_on(0);
+  t2.clock = sim::seconds(100);
+  k_.access_strided(t2, a, 16, 1024, stride, vm::Prot::kRead, 3500.0, 1.0);
+  ThreadCtx t3 = ctx_on(0);
+  t3.clock = sim::seconds(200);
+  k_.access_strided(t3, a, 16, 1024, stride, vm::Prot::kRead, 3500.0, 8.0);
+  EXPECT_GT(t3.stats.get(sim::CostKind::kMemAccess),
+            4 * t2.stats.get(sim::CostKind::kMemAccess));
+}
+
+TEST_F(KernelTest, AllocationFallsBackWhenNodeFull) {
+  Kernel small(topo_, mem::Backing::kPhantom, {}, /*max_frames_per_node=*/4);
+  const Pid pid = small.create_process();
+  ThreadCtx t;
+  t.pid = pid;
+  t.core = 0;
+  const std::uint64_t len = 8 * mem::kPageSize;
+  const vm::Vaddr a = small.sys_mmap(t, len, vm::Prot::kReadWrite,
+                                     vm::MemPolicy::bind(topo::node_mask_of(0)));
+  small.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  EXPECT_EQ(small.pages_on_node(pid, a, len, 0), 4u);
+  EXPECT_GT(small.phys().fallback_allocs(), 0u);
+}
+
+TEST_F(KernelTest, SyscallErrorReturns) {
+  ThreadCtx t = ctx_on(0);
+  EXPECT_EQ(k_.sys_munmap(t, 0x1000, 0), -kEINVAL);
+  EXPECT_EQ(k_.sys_madvise(t, 0x100, mem::kPageSize, Advice::kNormal), -kENOMEM);
+  EXPECT_EQ(k_.sys_mbind(t, 0x100, mem::kPageSize, vm::MemPolicy::bind(1)), -kENOMEM);
+  const vm::Vaddr a = k_.sys_mmap(t, mem::kPageSize, vm::Prot::kReadWrite);
+  EXPECT_EQ(k_.sys_mbind(t, a, mem::kPageSize, vm::MemPolicy{vm::PolicyMode::kBind, 0}),
+            -kEINVAL);
+  EXPECT_EQ(k_.sys_set_mempolicy(t, vm::MemPolicy{vm::PolicyMode::kInterleave, 0}),
+            -kEINVAL);
+  EXPECT_EQ(k_.sys_migrate_pages(t, 999, 1, 2), -kESRCH);
+  EXPECT_EQ(k_.sys_migrate_pages(t, pid_, 0, 2), -kEINVAL);
+}
+
+TEST_F(KernelTest, MbindAffectsFuturePlacement) {
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 4 * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  EXPECT_EQ(k_.sys_mbind(t, a, len, vm::MemPolicy::bind(topo::node_mask_of(2))), 0);
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, len, 2), 4u);
+}
+
+// Property sweep: for any request size, linear move_pages lands every page
+// on its requested node and preserves contents.
+class MovePagesProperty : public KernelTest,
+                          public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(MovePagesProperty, MigrationIsCorrectAtAnySize) {
+  const std::uint64_t npages = GetParam();
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = npages * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+
+  std::vector<std::byte> payload(len);
+  for (std::size_t i = 0; i < len; ++i)
+    payload[i] = static_cast<std::byte>((i * 2654435761u) >> 3);
+  ASSERT_TRUE(k_.poke(pid_, a, payload));
+
+  // Scatter: page i goes to node i % 4.
+  const auto pages = pages_of(a, len);
+  std::vector<topo::NodeId> nodes(pages.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    nodes[i] = static_cast<topo::NodeId>(i % 4);
+  std::vector<int> status(pages.size(), -1);
+  ASSERT_EQ(k_.sys_move_pages(t, pages, nodes, status), 0);
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(status[i], static_cast<int>(i % 4));
+    EXPECT_EQ(k_.page_node(pid_, pages[i]), i % 4);
+  }
+  std::vector<std::byte> readback(len);
+  ASSERT_TRUE(k_.peek(pid_, a, readback));
+  EXPECT_EQ(readback, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MovePagesProperty,
+                         ::testing::Values(1, 3, 63, 64, 65, 128, 1000));
+
+// Property sweep: next-touch marking + touching from every node always ends
+// with the pages local to the toucher.
+class NextTouchProperty
+    : public KernelTest,
+      public ::testing::WithParamInterface<std::tuple<std::uint64_t, unsigned>> {};
+
+TEST_P(NextTouchProperty, PagesFollowTheToucher) {
+  const auto [npages, core] = GetParam();
+  ThreadCtx t0 = ctx_on(0);
+  const std::uint64_t len = npages * mem::kPageSize;
+  const vm::Vaddr a = k_.sys_mmap(t0, len, vm::Prot::kReadWrite);
+  k_.access(t0, a, len, vm::Prot::kWrite, 3500.0);
+  ASSERT_EQ(k_.sys_madvise(t0, a, len, Advice::kMigrateOnNextTouch), 0);
+
+  ThreadCtx t = ctx_on(core);
+  k_.access(t, a, len, vm::Prot::kReadWrite, 3500.0);
+  const topo::NodeId node = topo_.node_of_core(core);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, len, node), npages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndCores, NextTouchProperty,
+    ::testing::Combine(::testing::Values(1, 7, 64, 200),
+                       ::testing::Values(0u, 2u, 5u, 10u, 15u)));
+
+}  // namespace
+}  // namespace numasim::kern

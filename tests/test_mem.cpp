@@ -1,0 +1,86 @@
+// Unit tests for physical frames and the per-node allocator.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/phys.hpp"
+#include "topo/topology.hpp"
+
+namespace numasim::mem {
+namespace {
+
+class PhysMemTest : public ::testing::Test {
+ protected:
+  topo::Topology topo_ = topo::Topology::quad_opteron();
+};
+
+TEST_F(PhysMemTest, AllocOnExactNode) {
+  PhysMem pm(topo_, Backing::kPhantom, 16);
+  const FrameId f = pm.alloc_on(2);
+  ASSERT_NE(f, kInvalidFrame);
+  EXPECT_EQ(pm.node_of(f), 2u);
+  EXPECT_EQ(pm.used_frames(2), 1u);
+  EXPECT_EQ(pm.used_frames(0), 0u);
+  pm.free(f);
+  EXPECT_EQ(pm.used_frames(2), 0u);
+  EXPECT_EQ(pm.total_frees(), 1u);
+}
+
+TEST_F(PhysMemTest, CapacityEnforced) {
+  PhysMem pm(topo_, Backing::kPhantom, 2);
+  EXPECT_NE(pm.alloc_on(0), kInvalidFrame);
+  EXPECT_NE(pm.alloc_on(0), kInvalidFrame);
+  EXPECT_EQ(pm.alloc_on(0), kInvalidFrame);
+  EXPECT_EQ(pm.free_frames(0), 0u);
+}
+
+TEST_F(PhysMemTest, FallbackPrefersNearNodes) {
+  PhysMem pm(topo_, Backing::kPhantom, 1);
+  EXPECT_EQ(pm.node_of(pm.alloc_near(0)), 0u);
+  // Node 0 full: next nearest are 1-hop neighbours (1 and 2), id order.
+  EXPECT_EQ(pm.node_of(pm.alloc_near(0)), 1u);
+  EXPECT_EQ(pm.node_of(pm.alloc_near(0)), 2u);
+  EXPECT_EQ(pm.node_of(pm.alloc_near(0)), 3u);
+  EXPECT_EQ(pm.alloc_near(0), kInvalidFrame);  // machine full
+  EXPECT_EQ(pm.fallback_allocs(), 3u);
+}
+
+TEST_F(PhysMemTest, FreeListReusesFrames) {
+  PhysMem pm(topo_, Backing::kPhantom, 4);
+  const FrameId a = pm.alloc_on(1);
+  pm.free(a);
+  const FrameId b = pm.alloc_on(1);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(PhysMemTest, MaterializedFramesHaveData) {
+  PhysMem pm(topo_, Backing::kMaterialized, 4);
+  const FrameId f = pm.alloc_on(0);
+  ASSERT_NE(pm.data(f), nullptr);
+  std::memset(pm.data(f), 0xAB, kPageSize);
+  EXPECT_EQ(static_cast<unsigned char>(pm.data(f)[4095]), 0xABu);
+}
+
+TEST_F(PhysMemTest, PhantomFramesHaveNoData) {
+  PhysMem pm(topo_, Backing::kPhantom, 4);
+  const FrameId f = pm.alloc_on(0);
+  EXPECT_EQ(pm.data(f), nullptr);
+}
+
+TEST_F(PhysMemTest, CapacityFromTopologyWhenUnclamped) {
+  PhysMem pm(topo_, Backing::kPhantom);
+  EXPECT_EQ(pm.capacity_frames(0), (8ull << 30) >> kPageShift);
+}
+
+TEST_F(PhysMemTest, CountersTrackTotals) {
+  PhysMem pm(topo_, Backing::kPhantom, 8);
+  std::vector<FrameId> frames;
+  for (int i = 0; i < 5; ++i) frames.push_back(pm.alloc_near(3));
+  EXPECT_EQ(pm.total_used_frames(), 5u);
+  EXPECT_EQ(pm.total_allocs(), 5u);
+  for (FrameId f : frames) pm.free(f);
+  EXPECT_EQ(pm.total_used_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace numasim::mem

@@ -1,0 +1,106 @@
+// Unit tests for the NUMA topology model.
+#include <gtest/gtest.h>
+
+#include "topo/topology.hpp"
+
+namespace numasim::topo {
+namespace {
+
+TEST(Topology, QuadOpteronShape) {
+  const Topology t = Topology::quad_opteron();
+  EXPECT_EQ(t.num_nodes(), 4u);
+  EXPECT_EQ(t.num_cores(), 16u);
+  EXPECT_EQ(t.cores_per_node(), 4u);
+  EXPECT_EQ(t.num_links(), 4u);
+  for (CoreId c = 0; c < 16; ++c) EXPECT_EQ(t.node_of_core(c), c / 4);
+  EXPECT_EQ(t.cores_of_node(2).size(), 4u);
+  EXPECT_EQ(t.cores_of_node(2)[0], 8u);
+}
+
+TEST(Topology, QuadOpteronRouting) {
+  const Topology t = Topology::quad_opteron();
+  // Square 0-1, 1-3, 3-2, 2-0: adjacent pairs 1 hop, diagonals 2 hops.
+  EXPECT_EQ(t.hops(0, 0), 0u);
+  EXPECT_EQ(t.hops(0, 1), 1u);
+  EXPECT_EQ(t.hops(0, 2), 1u);
+  EXPECT_EQ(t.hops(0, 3), 2u);
+  EXPECT_EQ(t.hops(1, 2), 2u);
+  EXPECT_EQ(t.hops(3, 0), 2u);
+  EXPECT_TRUE(t.route(0, 0).empty());
+  EXPECT_EQ(t.route(0, 3).size(), 2u);
+}
+
+TEST(Topology, NumaFactorMatchesPaperRange) {
+  const Topology t = Topology::quad_opteron();
+  EXPECT_DOUBLE_EQ(t.numa_factor(0, 0), 1.0);
+  const double one_hop = t.numa_factor(0, 1);
+  const double two_hop = t.numa_factor(0, 3);
+  // Paper: local/remote ratio between 1.2 and 1.4 on this machine.
+  EXPECT_GE(one_hop, 1.2);
+  EXPECT_LE(one_hop, 1.4);
+  EXPECT_GE(two_hop, one_hop);
+  EXPECT_LE(two_hop, 1.7);
+}
+
+TEST(Topology, AccessLatencyAddsHops) {
+  const Topology t = Topology::quad_opteron();
+  const sim::Time local = t.access_latency(0, 0);
+  const sim::Time remote1 = t.access_latency(0, 1);
+  const sim::Time remote2 = t.access_latency(0, 3);
+  EXPECT_EQ(local, t.node_spec(0).dram_latency);
+  EXPECT_EQ(remote1, local + t.link_spec(0).hop_latency);
+  EXPECT_EQ(remote2, local + 2 * t.link_spec(0).hop_latency);
+}
+
+TEST(Topology, DualNode) {
+  const Topology t = Topology::dual_node(2);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.num_cores(), 4u);
+  EXPECT_EQ(t.hops(0, 1), 1u);
+}
+
+TEST(Topology, NodeMaskHelpers) {
+  EXPECT_EQ(node_mask_of(0), 1u);
+  EXPECT_EQ(node_mask_of(3), 8u);
+  EXPECT_TRUE(mask_contains(0b1010, 1));
+  EXPECT_FALSE(mask_contains(0b1010, 2));
+  const Topology t = Topology::quad_opteron();
+  EXPECT_EQ(t.all_nodes_mask(), 0b1111u);
+}
+
+TEST(Topology, RejectsBadConfigs) {
+  EXPECT_THROW(Topology::build(0, 1, {}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(Topology::build(2, 0, {}, {}, {}), std::invalid_argument);
+  // Unconnected graph.
+  EXPECT_THROW(Topology::build(3, 1, {}, {}, {{0, 1}}), std::invalid_argument);
+  // Self link.
+  EXPECT_THROW(Topology::build(2, 1, {}, {}, {{0, 0}}), std::invalid_argument);
+  // Endpoint out of range.
+  EXPECT_THROW(Topology::build(2, 1, {}, {}, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(Topology, DescribeMentionsEveryNode) {
+  const Topology t = Topology::quad_opteron();
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("available: 4 nodes"), std::string::npos);
+  EXPECT_NE(d.find("node 3 cpus:"), std::string::npos);
+  EXPECT_NE(d.find("8192 MB"), std::string::npos);
+}
+
+TEST(Topology, CoreSpecPeak) {
+  const Topology t = Topology::quad_opteron();
+  EXPECT_DOUBLE_EQ(t.core_spec().peak_gflops(), 1.9 * 4);
+}
+
+TEST(Topology, LargerMeshRoutes) {
+  // 8-node ring.
+  std::vector<LinkSpec> links;
+  for (NodeId n = 0; n < 8; ++n) links.push_back({n, static_cast<NodeId>((n + 1) % 8)});
+  const Topology t = Topology::build(8, 2, {}, {}, std::move(links));
+  EXPECT_EQ(t.hops(0, 4), 4u);
+  EXPECT_EQ(t.hops(0, 7), 1u);
+  EXPECT_EQ(t.hops(2, 6), 4u);
+}
+
+}  // namespace
+}  // namespace numasim::topo
