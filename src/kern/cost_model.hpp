@@ -77,6 +77,25 @@ struct CostModel {
   Time mprotect_base = 1000;
   Time mprotect_page = 90;
 
+  // --- degraded paths (memory pressure / fault injection) ----------------------
+  /// Bounded retry of a transiently failed page copy: up to `copy_retry_max`
+  /// re-attempts, backing off `copy_retry_backoff << attempt` between them
+  /// (the migrate_pages -EAGAIN retry loop). Exhausting the budget aborts
+  /// the migration and rolls back, leaving the original frame mapped.
+  unsigned copy_retry_max = 3;
+  Time copy_retry_backoff = 5'000;
+  Time copy_backoff(unsigned attempt) const {
+    return copy_retry_backoff << attempt;
+  }
+  /// Wait before re-sending a lost TLB-shootdown IPI (csd-lock timeout).
+  Time tlb_shootdown_resend_wait = 10'000;
+  /// Extra latency of a delayed SIGSEGV delivery (queued behind a context
+  /// switch).
+  Time signal_redelivery_delay = 20'000;
+  /// Direct-reclaim stall charged when a first-touch allocation hits
+  /// (injected) pressure before the reserve pool satisfies it.
+  Time reclaim_stall = 50'000;
+
   // --- lock contention ----------------------------------------------------------
   /// Extra hold time when a lock's ownership moves between cores (cache-line
   /// bounce); applied to the coarse mmap_sem-style locks.

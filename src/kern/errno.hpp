@@ -23,6 +23,8 @@ class SegfaultError : public std::runtime_error {
 
 inline constexpr int kEPERM = 1;
 inline constexpr int kESRCH = 3;
+inline constexpr int kEIO = 5;
+inline constexpr int kEAGAIN = 11;
 inline constexpr int kENOMEM = 12;
 inline constexpr int kEACCES = 13;
 inline constexpr int kEFAULT = 14;

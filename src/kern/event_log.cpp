@@ -14,6 +14,12 @@ std::string_view event_type_name(EventType t) {
     case EventType::kSigsegv: return "sigsegv";
     case EventType::kReplicaCreate: return "replica-create";
     case EventType::kReplicaCollapse: return "replica-collapse";
+    case EventType::kMigrateRetry: return "migrate-retry";
+    case EventType::kMigrateFail: return "migrate-fail";
+    case EventType::kNextTouchDegraded: return "nt-degraded";
+    case EventType::kShootdownRetry: return "shootdown-retry";
+    case EventType::kSignalDelay: return "signal-delay";
+    case EventType::kAllocStall: return "alloc-stall";
   }
   return "?";
 }

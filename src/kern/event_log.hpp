@@ -25,6 +25,14 @@ enum class EventType : std::uint8_t {
   kSigsegv,          // signal delivered to user handler
   kReplicaCreate,
   kReplicaCollapse,
+  // Degraded-mode events (fault injection / memory pressure):
+  kMigrateRetry,       // transient copy failure; migration retried after backoff
+  kMigrateFail,        // migration aborted (ENOMEM or permanent copy failure);
+                       // the original frame stays mapped
+  kNextTouchDegraded,  // next-touch fault could not migrate; page mapped in place
+  kShootdownRetry,     // TLB-shootdown IPI lost and re-sent
+  kSignalDelay,        // SIGSEGV delivery delayed
+  kAllocStall,         // first-touch allocation stalled in (simulated) reclaim
 };
 
 std::string_view event_type_name(EventType t);

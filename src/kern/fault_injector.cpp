@@ -1,0 +1,227 @@
+#include "kern/fault_injector.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace numasim::kern {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view what, std::string_view clause) {
+  throw std::invalid_argument{"FaultPlan: " + std::string(what) + " in clause '" +
+                              std::string(clause) + "'"};
+}
+
+double parse_double(std::string_view v, std::string_view clause) {
+  // std::from_chars<double> is available on gcc>=11; fall back via stod copy.
+  try {
+    std::size_t used = 0;
+    std::string s(v);
+    const double d = std::stod(s, &used);
+    if (used != s.size()) bad_spec("trailing junk in number", clause);
+    return d;
+  } catch (const std::invalid_argument&) {
+    bad_spec("malformed number", clause);
+  } catch (const std::out_of_range&) {
+    bad_spec("number out of range", clause);
+  }
+}
+
+std::uint64_t parse_u64(std::string_view v, std::string_view clause) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size())
+    bad_spec("malformed integer", clause);
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Split `text` on `sep`, trimming surrounding whitespace from each part.
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  while (!text.empty()) {
+    const std::size_t pos = text.find(sep);
+    parts.push_back(trim(text.substr(0, pos)));
+    if (pos == std::string_view::npos) break;
+    text.remove_prefix(pos + 1);
+  }
+  return parts;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (std::string_view clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string_view::npos) bad_spec("missing ':'", clause);
+    const std::string_view kind = clause.substr(0, colon);
+
+    // key=value pairs after the kind.
+    double p = -1.0, pt = -1.0, pp = -1.0;
+    std::uint64_t nth = 0, frames = 0;
+    topo::NodeId node = topo::kInvalidNode;
+    bool have_frames = false;
+    for (std::string_view kv : split(clause.substr(colon + 1), ',')) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) bad_spec("missing '='", clause);
+      const std::string_view key = kv.substr(0, eq);
+      const std::string_view val = kv.substr(eq + 1);
+      if (key == "p") p = parse_double(val, clause);
+      else if (key == "pt") pt = parse_double(val, clause);
+      else if (key == "pp") pp = parse_double(val, clause);
+      else if (key == "nth") nth = parse_u64(val, clause);
+      else if (key == "node") node = static_cast<topo::NodeId>(parse_u64(val, clause));
+      else if (key == "frames") { frames = parse_u64(val, clause); have_frames = true; }
+      else bad_spec("unknown key", clause);
+    }
+
+    if (kind == "alloc") {
+      if (nth != 0) {
+        plan.nth_allocs.push_back({node, nth});
+      } else if (p >= 0.0) {
+        plan.alloc_fail_p = p;
+        plan.alloc_fail_node = node;
+      } else {
+        bad_spec("alloc needs p= or nth=", clause);
+      }
+    } else if (kind == "cap") {
+      if (node == topo::kInvalidNode || !have_frames)
+        bad_spec("cap needs node= and frames=", clause);
+      plan.node_caps.push_back({node, frames});
+    } else if (kind == "copy") {
+      if (pt < 0.0 && pp < 0.0) bad_spec("copy needs pt= and/or pp=", clause);
+      if (pt >= 0.0) plan.copy_transient_p = pt;
+      if (pp >= 0.0) plan.copy_permanent_p = pp;
+    } else if (kind == "shootdown") {
+      if (p < 0.0) bad_spec("shootdown needs p=", clause);
+      plan.shootdown_drop_p = p;
+    } else if (kind == "signal") {
+      if (p < 0.0) bad_spec("signal needs p=", clause);
+      plan.signal_delay_p = p;
+    } else {
+      bad_spec("unknown fault point", clause);
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  char buf[96];
+  auto append = [&out](const char* s) {
+    if (!out.empty()) out += ';';
+    out += s;
+  };
+  if (alloc_fail_p > 0.0) {
+    if (alloc_fail_node != topo::kInvalidNode)
+      std::snprintf(buf, sizeof buf, "alloc:p=%g,node=%u", alloc_fail_p,
+                    alloc_fail_node);
+    else
+      std::snprintf(buf, sizeof buf, "alloc:p=%g", alloc_fail_p);
+    append(buf);
+  }
+  for (const NthAlloc& n : nth_allocs) {
+    if (n.node != topo::kInvalidNode)
+      std::snprintf(buf, sizeof buf, "alloc:nth=%llu,node=%u",
+                    static_cast<unsigned long long>(n.nth), n.node);
+    else
+      std::snprintf(buf, sizeof buf, "alloc:nth=%llu",
+                    static_cast<unsigned long long>(n.nth));
+    append(buf);
+  }
+  for (const NodeCap& c : node_caps) {
+    std::snprintf(buf, sizeof buf, "cap:node=%u,frames=%llu", c.node,
+                  static_cast<unsigned long long>(c.frames));
+    append(buf);
+  }
+  if (copy_transient_p > 0.0 || copy_permanent_p > 0.0) {
+    std::snprintf(buf, sizeof buf, "copy:pt=%g,pp=%g", copy_transient_p,
+                  copy_permanent_p);
+    append(buf);
+  }
+  if (shootdown_drop_p > 0.0) {
+    std::snprintf(buf, sizeof buf, "shootdown:p=%g", shootdown_drop_p);
+    append(buf);
+  }
+  if (signal_delay_p > 0.0) {
+    std::snprintf(buf, sizeof buf, "signal:p=%g", signal_delay_p);
+    append(buf);
+  }
+  return out;
+}
+
+void FaultInjector::arm(const FaultPlan& plan, std::uint64_t seed) {
+  plan_ = plan;
+  seed_ = seed;
+  rng_.reseed(seed);
+  counters_ = Counters{};
+  alloc_attempts_.clear();
+  alloc_attempts_any_ = 0;
+}
+
+bool FaultInjector::fail_alloc(topo::NodeId node) {
+  ++counters_.allocs_checked;
+  ++alloc_attempts_any_;
+  if (node != topo::kInvalidNode) {
+    if (alloc_attempts_.size() <= node) alloc_attempts_.resize(node + 1, 0);
+    ++alloc_attempts_[node];
+  }
+
+  bool fail = false;
+  for (const FaultPlan::NthAlloc& n : plan_.nth_allocs) {
+    if (n.nth == 0) continue;
+    const std::uint64_t count = n.node == topo::kInvalidNode
+                                    ? alloc_attempts_any_
+                                    : (node == n.node ? alloc_attempts_[node] : 0);
+    if (count == n.nth) fail = true;
+  }
+  if (plan_.alloc_fail_p > 0.0 &&
+      (plan_.alloc_fail_node == topo::kInvalidNode ||
+       plan_.alloc_fail_node == node)) {
+    // Draw even when already failing via nth so the decision stream depends
+    // only on the call sequence, not on which rule fired first.
+    if (rng_.chance(plan_.alloc_fail_p)) fail = true;
+  }
+  if (fail) ++counters_.allocs_failed;
+  return fail;
+}
+
+CopyVerdict FaultInjector::copy_verdict() {
+  if (plan_.copy_transient_p == 0.0 && plan_.copy_permanent_p == 0.0)
+    return CopyVerdict::kOk;
+  ++counters_.copies_checked;
+  const double u = rng_.uniform();
+  if (u < plan_.copy_permanent_p) {
+    ++counters_.copies_permanent;
+    return CopyVerdict::kPermanent;
+  }
+  if (u < plan_.copy_permanent_p + plan_.copy_transient_p) {
+    ++counters_.copies_transient;
+    return CopyVerdict::kTransient;
+  }
+  return CopyVerdict::kOk;
+}
+
+bool FaultInjector::drop_shootdown() {
+  if (plan_.shootdown_drop_p == 0.0) return false;
+  const bool drop = rng_.chance(plan_.shootdown_drop_p);
+  if (drop) ++counters_.shootdowns_dropped;
+  return drop;
+}
+
+bool FaultInjector::delay_signal() {
+  if (plan_.signal_delay_p == 0.0) return false;
+  const bool delay = rng_.chance(plan_.signal_delay_p);
+  if (delay) ++counters_.signals_delayed;
+  return delay;
+}
+
+}  // namespace numasim::kern

@@ -1,0 +1,130 @@
+// Deterministic fault injection for the simulated kernel.
+//
+// A FaultPlan describes *which* failures to produce (per-node allocation
+// ENOMEM, "fail the Nth allocation on node X", node capacity caps, transient
+// or permanent page-copy failures, dropped TLB-shootdown IPIs, delayed
+// SIGSEGV delivery); a seed fixes *when* they fire. Every decision is drawn
+// from a private xoshiro Rng in call order, so an identical (plan, seed)
+// pair replays an identical failure schedule bit-for-bit — the fuzzer uses
+// this to turn any crash into a deterministic reproducer. With no injector
+// attached (or an empty plan) the kernel consumes no randomness and charges
+// exactly the same costs as before, so injection-off runs stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace numasim::kern {
+
+/// Declarative description of the failures to inject. Parsed from a compact
+/// spec string (see docs/failure-semantics.md):
+///
+///   alloc:p=0.05[,node=1]    random destination-alloc ENOMEM (optionally
+///                            restricted to one node)
+///   alloc:nth=5,node=1       fail exactly the 5th allocation attempt on node 1
+///   cap:node=2,frames=100    cap node 2's usable frames at 100 (exhaustion)
+///   copy:pt=0.1,pp=0.01      per-copy transient / permanent failure odds
+///   shootdown:p=0.01         TLB-shootdown IPI lost; initiator re-sends
+///   signal:p=0.02            SIGSEGV delivery delayed by the redelivery cost
+///
+/// Clauses are ';'-separated; later clauses override earlier ones except
+/// `alloc:nth` and `cap`, which accumulate.
+struct FaultPlan {
+  struct NthAlloc {
+    topo::NodeId node = topo::kInvalidNode;  ///< kInvalidNode = any node
+    std::uint64_t nth = 0;                   ///< 1-based attempt index
+  };
+  struct NodeCap {
+    topo::NodeId node = topo::kInvalidNode;
+    std::uint64_t frames = 0;
+  };
+
+  double alloc_fail_p = 0.0;
+  topo::NodeId alloc_fail_node = topo::kInvalidNode;  ///< kInvalidNode = any
+  std::vector<NthAlloc> nth_allocs;
+  std::vector<NodeCap> node_caps;
+  double copy_transient_p = 0.0;
+  double copy_permanent_p = 0.0;
+  double shootdown_drop_p = 0.0;
+  double signal_delay_p = 0.0;
+
+  /// True when the plan injects nothing (the injector then never draws
+  /// randomness, preserving byte-identical baseline runs).
+  bool empty() const {
+    return alloc_fail_p == 0.0 && nth_allocs.empty() && node_caps.empty() &&
+           copy_transient_p == 0.0 && copy_permanent_p == 0.0 &&
+           shootdown_drop_p == 0.0 && signal_delay_p == 0.0;
+  }
+
+  /// Parse the spec format above. Throws std::invalid_argument on a
+  /// malformed clause so fuzz drivers fail loudly, not silently.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Round-trippable rendering (diagnostics, reproducer logs).
+  std::string to_string() const;
+};
+
+/// Outcome of one injected page-copy attempt.
+enum class CopyVerdict : std::uint8_t {
+  kOk,         ///< copy succeeds
+  kTransient,  ///< copy fails; caller may back off and retry
+  kPermanent,  ///< copy fails for good; caller must roll back
+};
+
+class FaultInjector {
+ public:
+  /// Counters of decisions taken (diagnostics and replay audits).
+  struct Counters {
+    std::uint64_t allocs_checked = 0;
+    std::uint64_t allocs_failed = 0;
+    std::uint64_t copies_checked = 0;
+    std::uint64_t copies_transient = 0;
+    std::uint64_t copies_permanent = 0;
+    std::uint64_t shootdowns_dropped = 0;
+    std::uint64_t signals_delayed = 0;
+  };
+
+  FaultInjector() = default;
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed) { arm(plan, seed); }
+
+  /// (Re)arm with a plan and seed; resets all counters and the decision
+  /// stream, so arming twice with the same pair replays the same schedule.
+  void arm(const FaultPlan& plan, std::uint64_t seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t seed() const { return seed_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Should this migration-destination allocation on `node` report ENOMEM?
+  /// Counts every attempt (the "fail Nth alloc on node X" bookkeeping).
+  bool fail_alloc(topo::NodeId node);
+
+  /// Verdict for one page-copy attempt.
+  CopyVerdict copy_verdict();
+
+  /// Was this TLB-shootdown IPI lost (forcing a re-send)?
+  bool drop_shootdown();
+
+  /// Is this SIGSEGV delivery delayed?
+  bool delay_signal();
+
+  /// Caps from the plan, for the kernel to apply to the frame allocator.
+  const std::vector<FaultPlan::NodeCap>& node_caps() const {
+    return plan_.node_caps;
+  }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_ = 0;
+  sim::Rng rng_;
+  Counters counters_;
+  std::vector<std::uint64_t> alloc_attempts_;  ///< per node (index = NodeId)
+  std::uint64_t alloc_attempts_any_ = 0;
+};
+
+}  // namespace numasim::kern

@@ -29,6 +29,7 @@
 #include "kern/cost_model.hpp"
 #include "kern/errno.hpp"
 #include "kern/event_log.hpp"
+#include "kern/fault_injector.hpp"
 #include "kern/hw_state.hpp"
 #include "kern/replication.hpp"
 #include "mem/phys.hpp"
@@ -101,6 +102,13 @@ struct KernelStats {
   std::uint64_t signals_delivered = 0;
   std::uint64_t replica_pages = 0;
   std::uint64_t replica_collapses = 0;
+  // Degraded-mode accounting (memory pressure / fault injection):
+  std::uint64_t migrations_failed = 0;   ///< aborted + rolled back migrations
+  std::uint64_t migration_retries = 0;   ///< transient copy failures retried
+  std::uint64_t nexttouch_degraded = 0;  ///< NT faults resolved without moving
+  std::uint64_t shootdown_retries = 0;   ///< lost + re-sent shootdown IPIs
+  std::uint64_t signals_delayed = 0;     ///< SIGSEGV deliveries delayed
+  std::uint64_t alloc_stalls = 0;        ///< first-touch reclaim stalls
 };
 
 class Kernel {
@@ -126,6 +134,13 @@ class Kernel {
   /// Attach/detach an event trace (nullptr = off; not owned).
   void set_event_log(EventLog* log) { elog_ = log; }
   EventLog* event_log() { return elog_; }
+
+  /// Attach/detach a fault injector (nullptr = off; not owned). Node caps in
+  /// the injector's plan are applied to the frame allocator immediately;
+  /// detaching restores the original capacities. With no injector the
+  /// kernel draws no randomness and charges baseline costs exactly.
+  void set_fault_injector(FaultInjector* inj);
+  FaultInjector* fault_injector() { return injector_; }
 
   // --- process management ----------------------------------------------------
   Pid create_process(std::string name = {});
@@ -317,12 +332,47 @@ class Kernel {
   void populate_huge_block(ThreadCtx& t, Process& p, const vm::Vma& vma,
                            vm::Vpn vpn);
 
-  /// Migrate one present page to `target`; frees the old frame. Charges
-  /// `control_kind`; the copy goes to `copies` if given, else is charged
-  /// inline as `copy_kind`. Returns false if allocation failed.
-  bool migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte, topo::NodeId target,
-                    sim::Time control_cost, sim::CostKind control_kind,
-                    sim::CostKind copy_kind, CopyBatch* copies);
+  /// Outcome of one page migration through the isolate→alloc→copy→remap
+  /// pipeline. Anything but kOk means the pipeline rolled back: the original
+  /// frame is still mapped and valid, nothing leaked.
+  enum class MigrateResult : std::uint8_t {
+    kOk,
+    kNoMem,     ///< destination-node allocation failed (per-page -ENOMEM)
+    kCopyFail,  ///< page copy failed permanently / retries exhausted (-EAGAIN)
+  };
+
+  /// Resolved schedule of one page copy under the attached injector:
+  /// `retries` failed attempts (each re-charged and backed off), then
+  /// success iff `ok`. Without an injector: {0, true}, no randomness drawn.
+  struct CopyOutcome {
+    unsigned retries = 0;
+    bool ok = true;
+  };
+  CopyOutcome copy_outcome();
+
+  /// Allocation of a migration destination frame on exactly `node` — strict
+  /// __GFP_THISNODE semantics, honoring the min watermark, consulting the
+  /// injector. kInvalidFrame = the caller must degrade (per-page ENOMEM).
+  mem::FrameId alloc_migration_frame(topo::NodeId node);
+
+  /// Allocation backing a user fault: preferred-node with zonelist fallback;
+  /// injected pressure charges a reclaim stall, and the reserve pool is the
+  /// last resort (user faults reclaim deeper than migrations, so touch never
+  /// fails while any frame exists). kInvalidFrame = machine truly full.
+  mem::FrameId alloc_user_frame(ThreadCtx& t, vm::Vpn vpn, topo::NodeId target);
+
+  /// Cost of one all-core TLB shootdown, re-sending the IPI when the
+  /// injector drops it. Also bumps the shootdown stats.
+  sim::Time shootdown_cost(const ThreadCtx& t);
+
+  /// Migrate one present page (`vpn`, for tracing) to `target`; frees the
+  /// old frame. Charges `control_kind`; the copy goes to `copies` if given,
+  /// else is charged inline as `copy_kind`. On failure the original frame
+  /// stays mapped.
+  MigrateResult migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte, vm::Vpn vpn,
+                             topo::NodeId target, sim::Time control_cost,
+                             sim::CostKind control_kind, sim::CostKind copy_kind,
+                             CopyBatch* copies);
 
   /// Serialize a batch of `pages` migrations on the process migration
   /// pipeline (the cross-thread critical sections): reserves
@@ -357,6 +407,7 @@ class Kernel {
   MovePagesImpl move_impl_ = MovePagesImpl::kLinear;
   bool replication_ = false;
   EventLog* elog_ = nullptr;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Process>> procs_;
   KernelStats kstats_;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <sstream>
+#include <unordered_set>
 
 #include "kern/kernel.hpp"
 
@@ -40,6 +41,78 @@ void Kernel::set_sigsegv_handler(Pid pid, SegvHandler handler) {
   proc(pid).segv = std::move(handler);
 }
 
+void Kernel::set_fault_injector(FaultInjector* inj) {
+  // Plan specs are untrusted (fuzzer/CLI strings): a cap naming a node this
+  // topology doesn't have is ignored — there is nothing to exhaust.
+  const auto valid = [this](const FaultPlan::NodeCap& c) {
+    return c.node < topo_.num_nodes();
+  };
+  if (injector_ != nullptr && inj == nullptr) {
+    // Detach: restore the capacities the old plan's caps may have clamped.
+    for (const FaultPlan::NodeCap& c : injector_->node_caps())
+      if (valid(c)) phys_.set_node_capacity(c.node, ~std::uint64_t{0});
+  }
+  injector_ = inj;
+  if (injector_ != nullptr) {
+    for (const FaultPlan::NodeCap& c : injector_->node_caps())
+      if (valid(c)) phys_.set_node_capacity(c.node, c.frames);
+  }
+}
+
+Kernel::CopyOutcome Kernel::copy_outcome() {
+  CopyOutcome o;
+  if (injector_ == nullptr) return o;
+  while (true) {
+    switch (injector_->copy_verdict()) {
+      case CopyVerdict::kOk:
+        return o;
+      case CopyVerdict::kPermanent:
+        o.ok = false;
+        return o;
+      case CopyVerdict::kTransient:
+        if (o.retries >= cost_.copy_retry_max) {  // retry budget exhausted
+          o.ok = false;
+          return o;
+        }
+        ++o.retries;
+        break;
+    }
+  }
+}
+
+mem::FrameId Kernel::alloc_migration_frame(topo::NodeId node) {
+  if (injector_ != nullptr && injector_->fail_alloc(node))
+    return mem::kInvalidFrame;
+  // Strict __GFP_THISNODE, no reserves: migration targets fail rather than
+  // land on the wrong node (Linux's new_page_node()).
+  return phys_.alloc_on(node);
+}
+
+mem::FrameId Kernel::alloc_user_frame(ThreadCtx& t, vm::Vpn vpn,
+                                      topo::NodeId target) {
+  if (injector_ != nullptr && injector_->fail_alloc(target)) {
+    // A user fault does not see ENOMEM: it direct-reclaims (charged as a
+    // stall) and then succeeds from the zonelist or the reserve pool.
+    charge(t, cost_.reclaim_stall, sim::CostKind::kAllocZero);
+    ++kstats_.alloc_stalls;
+    trace(t, EventType::kAllocStall, vpn, 1, topo::kInvalidNode, target);
+  }
+  const mem::FrameId f = phys_.alloc_near(target);
+  if (f != mem::kInvalidFrame) return f;
+  return phys_.alloc_near(target, /*use_reserve=*/true);
+}
+
+sim::Time Kernel::shootdown_cost(const ThreadCtx& t) {
+  sim::Time c = cost_.tlb_shootdown(topo_.num_cores());
+  if (injector_ != nullptr && injector_->drop_shootdown()) {
+    // One IPI was lost: wait out the acknowledgement timeout, re-broadcast.
+    c += cost_.tlb_shootdown_resend_wait + cost_.tlb_shootdown(topo_.num_cores());
+    ++kstats_.shootdown_retries;
+    trace(t, EventType::kShootdownRetry, 0, 1);
+  }
+  return c;
+}
+
 void Kernel::set_task_policy(Pid pid, const vm::MemPolicy& pol) {
   proc(pid).task_policy = pol;
 }
@@ -61,7 +134,7 @@ void Kernel::populate_page(ThreadCtx& t, Process& p, const vm::Vma& vma,
   topo::NodeId target = eff.target_node(vma.pgoff(vpn), local, topo_.num_nodes());
   if (target == topo::kInvalidNode) target = local;
 
-  const mem::FrameId frame = phys_.alloc_near(target);
+  const mem::FrameId frame = alloc_user_frame(t, vpn, target);
   if (frame == mem::kInvalidFrame) throw std::runtime_error{"simulated OOM"};
 
   // Allocation + zero-fill through the target node's DRAM.
@@ -76,8 +149,7 @@ void Kernel::populate_page(ThreadCtx& t, Process& p, const vm::Vma& vma,
 
   pte.frame = frame;
   pte.flags = vm::Pte::kPresent | vm::Pte::kAccessed;
-  if (prot_allows(vma.prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
-  if (prot_allows(vma.prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+  pte.restore_hw(vma.prot);
   ++kstats_.minor_faults;
   trace(t, EventType::kMinorFault, vpn, 1, topo::kInvalidNode, phys_.node_of(frame));
 }
@@ -102,29 +174,59 @@ void Kernel::flush_copy_batch(ThreadCtx& t, CopyBatch& batch, sim::CostKind kind
   batch.runs.clear();
 }
 
-bool Kernel::migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte,
-                          topo::NodeId target, sim::Time control_cost,
-                          sim::CostKind control_kind, sim::CostKind copy_kind,
-                          CopyBatch* copies) {
+Kernel::MigrateResult Kernel::migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte,
+                                           vm::Vpn vpn, topo::NodeId target,
+                                           sim::Time control_cost,
+                                           sim::CostKind control_kind,
+                                           sim::CostKind copy_kind,
+                                           CopyBatch* copies) {
   (void)p;
   const mem::FrameId old_frame = pte.frame;
   const topo::NodeId from = phys_.node_of(old_frame);
-  const mem::FrameId new_frame = phys_.alloc_near(target);
-  if (new_frame == mem::kInvalidFrame) return false;
+
+  // Isolate→alloc: the destination frame must come from the target node.
+  const mem::FrameId new_frame = alloc_migration_frame(target);
+  if (new_frame == mem::kInvalidFrame) {
+    ++kstats_.migrations_failed;
+    trace(t, EventType::kMigrateFail, vpn, 1, from, target);
+    return MigrateResult::kNoMem;
+  }
 
   // Control path: isolation, PTE rewrite, local flush. The cross-thread
   // serialization is applied per batch via serialize_migration().
   charge(t, control_cost, control_kind);
 
   const topo::NodeId to = phys_.node_of(new_frame);
-  if (copies != nullptr) {
-    copies->add(from, to, mem::kPageSize);
-  } else {
-    const sim::Slot c =
-        hw_.copy(t.clock, from, to, mem::kPageSize, cost_.kernel_copy_bytes_per_us);
-    t.stats.add(copy_kind, c.finish - t.clock);
-    t.clock = c.finish;
+  auto charge_one_copy = [&] {
+    if (copies != nullptr) {
+      copies->add(from, to, mem::kPageSize);
+    } else {
+      const sim::Slot c = hw_.copy(t.clock, from, to, mem::kPageSize,
+                                   cost_.kernel_copy_bytes_per_us);
+      t.stats.add(copy_kind, c.finish - t.clock);
+      t.clock = c.finish;
+    }
+  };
+
+  // Copy, retrying transient failures with exponential backoff. A failed
+  // attempt still consumed the copy engine, so it is charged too.
+  const CopyOutcome oc = copy_outcome();
+  for (unsigned r = 0; r < oc.retries; ++r) {
+    charge_one_copy();
+    charge(t, cost_.copy_backoff(r), control_kind);
+    ++kstats_.migration_retries;
+    trace(t, EventType::kMigrateRetry, vpn, 1, from, to);
   }
+  if (!oc.ok) {
+    // Abort + rollback: release the destination frame; the original frame
+    // was never unmapped, so the page stays resident and valid.
+    charge_one_copy();  // the final, failed attempt
+    phys_.free(new_frame);
+    ++kstats_.migrations_failed;
+    trace(t, EventType::kMigrateFail, vpn, 1, from, to);
+    return MigrateResult::kCopyFail;
+  }
+  charge_one_copy();
 
   if (std::byte* dst = phys_.data(new_frame)) {
     if (const std::byte* src = phys_.data(old_frame))
@@ -132,7 +234,7 @@ bool Kernel::migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte,
   }
   phys_.free(old_frame);
   pte.frame = new_frame;
-  return true;
+  return MigrateResult::kOk;
 }
 
 void Kernel::populate_huge_block(ThreadCtx& t, Process& p, const vm::Vma& vma,
@@ -156,13 +258,12 @@ void Kernel::populate_huge_block(ThreadCtx& t, Process& p, const vm::Vma& vma,
   for (vm::Vpn v = block; v < block + kHugePages; ++v) {
     vm::Pte& pte = p.as.page_table().ensure(v);
     if (pte.present()) continue;
-    const mem::FrameId f = phys_.alloc_near(target);
+    const mem::FrameId f = alloc_user_frame(t, v, target);
     if (f == mem::kInvalidFrame) throw std::runtime_error{"simulated OOM (huge)"};
     if (std::byte* d = phys_.data(f)) std::memset(d, 0, mem::kPageSize);
     pte.frame = f;
     pte.flags = vm::Pte::kPresent | vm::Pte::kAccessed | vm::Pte::kHuge;
-    if (prot_allows(vma.prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
-    if (prot_allows(vma.prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+    pte.restore_hw(vma.prot);
   }
   ++kstats_.minor_faults;
 }
@@ -205,13 +306,15 @@ void Kernel::collapse_replicas(ThreadCtx& t, Process& p, vm::Pte& pte, vm::Vpn v
     charge(t, cost_.page_free + cost_.replica_control, sim::CostKind::kReplicaControl);
     phys_.free(f);
   }
-  // Home page moves to the writer if it is elsewhere (write locality).
+  // Home page moves to the writer if it is elsewhere (write locality) —
+  // best-effort: under pressure the collapse still succeeds, just without
+  // the locality gain.
   if (phys_.node_of(pte.frame) != writer) {
-    migrate_page(t, p, pte, writer, cost_.nt_fault_control,
+    migrate_page(t, p, pte, vpn, writer, cost_.nt_fault_control,
                  sim::CostKind::kReplicaControl, sim::CostKind::kReplicaCopy,
                  nullptr);
   }
-  charge(t, cost_.tlb_shootdown(topo_.num_cores()), sim::CostKind::kTlbShootdown);
+  charge(t, shootdown_cost(t), sim::CostKind::kTlbShootdown);
   ++kstats_.tlb_shootdowns;
   ++kstats_.replica_collapses;
   trace(t, EventType::kReplicaCollapse, vpn, frames.size(), topo::kInvalidNode, writer);
@@ -222,6 +325,13 @@ void Kernel::collapse_replicas(ThreadCtx& t, Process& p, vm::Pte& pte, vm::Vpn v
 void Kernel::deliver_sigsegv(ThreadCtx& t, Process& p, const SigInfo& info,
                              AccessResult& res) {
   if (!p.segv || t.signal_depth > 0) throw SegfaultError{info.fault_addr};
+  if (injector_ != nullptr && injector_->delay_signal()) {
+    // The signal is queued behind a context switch: delivery is late but
+    // never lost (the faulting access stays blocked, so no re-fault storm).
+    charge(t, cost_.signal_redelivery_delay, sim::CostKind::kSignalDelivery);
+    ++kstats_.signals_delayed;
+    trace(t, EventType::kSignalDelay, vm::vpn_of(info.fault_addr), 1);
+  }
   charge(t, cost_.signal_delivery, sim::CostKind::kSignalDelivery);
   ++kstats_.signals_delivered;
   ++res.sigsegv_delivered;
@@ -272,12 +382,19 @@ bool Kernel::handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr, vm::Prot wan
     const topo::NodeId local = topo_.node_of_core(t.core);
     if (phys_.node_of(pte.frame) != local) {
       const topo::NodeId was = phys_.node_of(pte.frame);
-      if (migrate_page(t, p, pte, local, cost_.nt_fault_control,
+      if (migrate_page(t, p, pte, vm::vpn_of(addr), local, cost_.nt_fault_control,
                        sim::CostKind::kNextTouchControl,
-                       sim::CostKind::kNextTouchCopy, copies)) {
+                       sim::CostKind::kNextTouchCopy,
+                       copies) == MigrateResult::kOk) {
         ++res.nexttouch_migrations;
         ++kstats_.pages_migrated_nexttouch;
         trace(t, EventType::kNextTouchMigrate, vm::vpn_of(addr), 1, was, local);
+      } else {
+        // Degraded next-touch: the local node cannot take the page (ENOMEM
+        // or copy failure). Map it where it is — the touch must never
+        // crash; only the locality optimization is lost.
+        ++kstats_.nexttouch_degraded;
+        trace(t, EventType::kNextTouchDegraded, vm::vpn_of(addr), 1, was, local);
       }
     } else {
       // Already local: just rearm the permissions.
@@ -287,16 +404,14 @@ bool Kernel::handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr, vm::Prot wan
     }
     pte.clear(vm::Pte::kNextTouch);
     pte.set(vm::Pte::kAccessed);
-    if (prot_allows(vma->prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
-    if (prot_allows(vma->prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+    pte.restore_hw(vma->prot);
     return false;
   }
 
   // Present, VMA permits, but hardware bits are narrower (e.g. after an
   // mprotect widening): re-derive them from the VMA.
   charge(t, cost_.pte_update + cost_.tlb_flush_local, sim::CostKind::kPageFault);
-  if (prot_allows(vma->prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
-  if (prot_allows(vma->prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+  pte.restore_hw(vma->prot);
   return false;
 }
 
@@ -557,6 +672,12 @@ std::uint64_t Kernel::pages_on_node(Pid pid, vm::Vaddr addr, std::uint64_t len,
 void Kernel::validate(Pid pid) const {
   const Process& p = proc(pid);
   std::uint64_t referenced = 0;
+  std::unordered_set<mem::FrameId> seen;
+  auto claim = [&seen](mem::FrameId f, const char* what) {
+    if (!seen.insert(f).second)
+      throw std::logic_error{std::string{"validate: frame double-mapped ("} +
+                             what + ")"};
+  };
   p.as.for_each([&](const vm::Vma& vma) {
     for (vm::Vpn vpn = vm::vpn_of(vma.start); vpn < vm::vpn_of(vma.end); ++vpn) {
       const vm::Pte* pte = p.as.page_table().find(vpn);
@@ -564,6 +685,7 @@ void Kernel::validate(Pid pid) const {
       ++referenced;
       if (!phys_.is_live(pte->frame))
         throw std::logic_error{"validate: present PTE references a dead frame"};
+      claim(pte->frame, "pte");
       if (pte->next_touch() && pte->hw_allows(vm::Prot::kRead))
         throw std::logic_error{"validate: next-touch PTE with live hw read bit"};
       const std::uint64_t nrep = p.replicas.replica_count(vpn);
@@ -579,6 +701,7 @@ void Kernel::validate(Pid pid) const {
           throw std::logic_error{"validate: replica aliases the home frame"};
         if (phys_.node_of(rf) != n)
           throw std::logic_error{"validate: replica on the wrong node"};
+        claim(rf, "replica");
       }
     }
   });

@@ -37,7 +37,7 @@ int Kernel::sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len) {
     }
   }
   p.as.unmap(addr, len);
-  charge(t, cost_.munmap_page * present + cost_.tlb_shootdown(topo_.num_cores()),
+  charge(t, cost_.munmap_page * present + shootdown_cost(t),
          sim::CostKind::kSyscallEntry);
   ++kstats_.tlb_shootdowns;
   return 0;
@@ -71,7 +71,7 @@ int Kernel::sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   });
 
   const sim::Time work = cost_.mprotect_base + cost_.mprotect_page * present +
-                         cost_.tlb_shootdown(topo_.num_cores());
+                         shootdown_cost(t);
   const sim::Slot slot = p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
   if (slot.start > t.clock) t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
   t.stats.add(attribute, slot.finish - slot.start);
@@ -107,7 +107,7 @@ int Kernel::sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
         }
       }
       const sim::Time work = cost_.madvise_base + cost_.page_free * dropped +
-                             cost_.tlb_shootdown(topo_.num_cores());
+                             shootdown_cost(t);
       charge(t, work, sim::CostKind::kMadvise);
       ++kstats_.tlb_shootdowns;
       return 0;
@@ -130,7 +130,7 @@ int Kernel::sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
         }
       }
       const sim::Time work = cost_.madvise_base + cost_.madvise_page_mark * marked +
-                             cost_.tlb_shootdown(topo_.num_cores());
+                             shootdown_cost(t);
       charge(t, work, sim::CostKind::kMadvise);
       ++kstats_.tlb_shootdowns;
       return 0;
@@ -159,7 +159,7 @@ int Kernel::sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
       }
       trace(t, EventType::kNextTouchMark, vm::vpn_of(addr), marked);
       const sim::Time work = cost_.madvise_base + cost_.madvise_page_mark * marked +
-                             cost_.tlb_shootdown(topo_.num_cores());
+                             shootdown_cost(t);
       const sim::Slot slot =
           p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
       if (slot.start > t.clock)
@@ -196,9 +196,10 @@ int Kernel::sys_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
     const topo::NodeId want = policy.target_node(
         vma->pgoff(vpn), phys_.node_of(pte->frame), topo_.num_nodes());
     if (want == topo::kInvalidNode || want == phys_.node_of(pte->frame)) continue;
-    if (migrate_page(t, p, *pte, want, cost_.move_pages_range_page_control,
+    if (migrate_page(t, p, *pte, vpn, want, cost_.move_pages_range_page_control,
                      sim::CostKind::kMovePagesControl,
-                     sim::CostKind::kMovePagesCopy, &copies)) {
+                     sim::CostKind::kMovePagesCopy,
+                     &copies) == MigrateResult::kOk) {
       ++moved;
       ++kstats_.pages_migrated_move;
     }
@@ -265,6 +266,9 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
     std::size_t i;
     topo::NodeId from;
     topo::NodeId to;
+    mem::FrameId nf = mem::kInvalidFrame;  // destination frame (post-alloc)
+    unsigned copy_retries = 0;
+    bool copy_ok = true;
   };
   std::vector<Move> moves;
   moves.reserve(chunk.size());
@@ -304,38 +308,72 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
 
   charge(t, unlocked_total + locked_total, sim::CostKind::kMovePagesControl);
 
+  // Isolate→alloc: destination frames come strictly from the requested node
+  // (as Linux's new_page_node with __GFP_THISNODE). A failed allocation
+  // degrades this page to -ENOMEM *before* any copy bandwidth is spent; the
+  // already-isolated page simply stays mapped on its source node.
+  for (Move& m : moves) {
+    m.nf = alloc_migration_frame(m.to);
+    if (m.nf == mem::kInvalidFrame) {
+      status[m.i] = -kENOMEM;
+      ++kstats_.migrations_failed;
+      trace(t, EventType::kMigrateFail, vm::vpn_of(chunk[m.i]), 1, m.from, m.to);
+    } else {
+      const CopyOutcome oc = copy_outcome();
+      m.copy_retries = oc.retries;
+      m.copy_ok = oc.ok;
+    }
+  }
+
   // Copies happen outside the lock; coalesce same-route neighbours so the
-  // hardware model sees streams, not 4 KiB droplets.
+  // hardware model sees streams, not 4 KiB droplets. Retried attempts
+  // consumed the engine too, so each page contributes (retries+1) copies.
   std::size_t i = 0;
   while (i < moves.size()) {
     std::size_t j = i;
+    std::uint64_t bytes = 0;
     while (j < moves.size() && moves[j].from == moves[i].from &&
-           moves[j].to == moves[i].to)
+           moves[j].to == moves[i].to) {
+      if (moves[j].nf != mem::kInvalidFrame)
+        bytes += (moves[j].copy_retries + 1ull) * mem::kPageSize;
       ++j;
-    const std::uint64_t bytes = (j - i) * mem::kPageSize;
-    const sim::Slot c = hw_.copy(t.clock, moves[i].from, moves[i].to, bytes,
-                                 cost_.kernel_copy_bytes_per_us);
-    t.stats.add(sim::CostKind::kMovePagesCopy, c.finish - t.clock);
-    t.clock = c.finish;
+    }
+    if (bytes != 0) {
+      const sim::Slot c = hw_.copy(t.clock, moves[i].from, moves[i].to, bytes,
+                                   cost_.kernel_copy_bytes_per_us);
+      t.stats.add(sim::CostKind::kMovePagesCopy, c.finish - t.clock);
+      t.clock = c.finish;
+    }
     i = j;
   }
 
   for (const Move& m : moves) {
+    if (m.nf == mem::kInvalidFrame) continue;  // degraded to -ENOMEM above
     vm::Pte* pte = p.as.page_table().find(vm::vpn_of(chunk[m.i]));
     assert(pte != nullptr);
-    const mem::FrameId nf = phys_.alloc_near(m.to);
-    if (nf == mem::kInvalidFrame) {
-      status[m.i] = -kENOMEM;
+    for (unsigned r = 0; r < m.copy_retries; ++r) {
+      charge(t, cost_.copy_backoff(r), sim::CostKind::kMovePagesControl);
+      ++kstats_.migration_retries;
+      trace(t, EventType::kMigrateRetry, vm::vpn_of(chunk[m.i]), 1, m.from, m.to);
+    }
+    if (!m.copy_ok) {
+      // Permanent copy failure: roll back — free the destination frame and
+      // leave the original mapping untouched (Linux: -EAGAIN after the
+      // migrate_pages retry loop gives up).
+      phys_.free(m.nf);
+      status[m.i] = -kEAGAIN;
+      ++kstats_.migrations_failed;
+      trace(t, EventType::kMigrateFail, vm::vpn_of(chunk[m.i]), 1, m.from, m.to);
       continue;
     }
-    if (std::byte* dst = phys_.data(nf)) {
+    if (std::byte* dst = phys_.data(m.nf)) {
       if (const std::byte* src = phys_.data(pte->frame))
         std::copy_n(src, mem::kPageSize, dst);
     }
     phys_.free(pte->frame);
-    pte->frame = nf;
+    pte->frame = m.nf;
     pte->clear(vm::Pte::kNextTouch);
-    status[m.i] = static_cast<int>(phys_.node_of(nf));
+    status[m.i] = static_cast<int>(phys_.node_of(m.nf));
     ++kstats_.pages_migrated_move;
   }
   if (!moves.empty())
@@ -388,8 +426,10 @@ long Kernel::sys_move_pages_ranged(ThreadCtx& t,
       charge(t, cost_.move_pages_range_page_control,
              sim::CostKind::kMovePagesControl);
       if (phys_.node_of(pte->frame) == r.node) continue;
-      if (migrate_page(t, p, *pte, r.node, 0, sim::CostKind::kMovePagesControl,
-                       sim::CostKind::kMovePagesCopy, &copies)) {
+      if (migrate_page(t, p, *pte, vpn, r.node, 0,
+                       sim::CostKind::kMovePagesControl,
+                       sim::CostKind::kMovePagesCopy,
+                       &copies) == MigrateResult::kOk) {
         ++batch_moved;
         ++kstats_.pages_migrated_move;
       }
@@ -437,32 +477,73 @@ long Kernel::sys_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
     const sim::Time entry = t.clock;
     charge(t, cost_.migrate_pages_page_locked * batch.size(),
            sim::CostKind::kMigratePagesControl);
+
+    // Destination allocation first (strict node): pages whose node is
+    // exhausted degrade before any copy bandwidth is spent and simply stay
+    // where they are (they are not counted as migrated).
+    struct Item {
+      vm::Vpn vpn;
+      topo::NodeId from;
+      topo::NodeId dest;
+      mem::FrameId nf;
+      unsigned copy_retries = 0;
+      bool copy_ok = true;
+    };
+    std::vector<Item> items;
+    items.reserve(batch.size());
+    for (auto [vpn, dest] : batch) {
+      Item it{vpn, phys_.node_of(p.as.page_table().find(vpn)->frame), dest,
+              alloc_migration_frame(dest)};
+      if (it.nf == mem::kInvalidFrame) {
+        ++kstats_.migrations_failed;
+        trace(t, EventType::kMigrateFail, vpn, 1, it.from, dest);
+      } else {
+        const CopyOutcome oc = copy_outcome();
+        it.copy_retries = oc.retries;
+        it.copy_ok = oc.ok;
+      }
+      items.push_back(it);
+    }
+
     std::size_t i = 0;
-    while (i < batch.size()) {
-      vm::Pte* first = p.as.page_table().find(batch[i].first);
-      const topo::NodeId f = phys_.node_of(first->frame);
+    while (i < items.size()) {
       std::size_t j = i;
-      while (j < batch.size() &&
-             phys_.node_of(p.as.page_table().find(batch[j].first)->frame) == f &&
-             batch[j].second == batch[i].second)
+      std::uint64_t bytes = 0;
+      while (j < items.size() && items[j].from == items[i].from &&
+             items[j].dest == items[i].dest) {
+        if (items[j].nf != mem::kInvalidFrame)
+          bytes += (items[j].copy_retries + 1ull) * mem::kPageSize;
         ++j;
-      const sim::Slot c = hw_.copy(t.clock, f, batch[i].second,
-                                   (j - i) * mem::kPageSize,
-                                   cost_.kernel_copy_bytes_per_us);
-      t.stats.add(sim::CostKind::kMigratePagesCopy, c.finish - t.clock);
-      t.clock = c.finish;
+      }
+      if (bytes != 0) {
+        const sim::Slot c = hw_.copy(t.clock, items[i].from, items[i].dest,
+                                     bytes, cost_.kernel_copy_bytes_per_us);
+        t.stats.add(sim::CostKind::kMigratePagesCopy, c.finish - t.clock);
+        t.clock = c.finish;
+      }
       i = j;
     }
-    for (auto [vpn, dest] : batch) {
-      vm::Pte* pte = p.as.page_table().find(vpn);
-      const mem::FrameId nf = phys_.alloc_near(dest);
-      if (nf == mem::kInvalidFrame) continue;
-      if (std::byte* dst = phys_.data(nf)) {
+
+    for (const Item& it : items) {
+      if (it.nf == mem::kInvalidFrame) continue;
+      for (unsigned r = 0; r < it.copy_retries; ++r) {
+        charge(t, cost_.copy_backoff(r), sim::CostKind::kMigratePagesControl);
+        ++kstats_.migration_retries;
+        trace(t, EventType::kMigrateRetry, it.vpn, 1, it.from, it.dest);
+      }
+      if (!it.copy_ok) {
+        phys_.free(it.nf);  // rollback: original mapping untouched
+        ++kstats_.migrations_failed;
+        trace(t, EventType::kMigrateFail, it.vpn, 1, it.from, it.dest);
+        continue;
+      }
+      vm::Pte* pte = p.as.page_table().find(it.vpn);
+      if (std::byte* dst = phys_.data(it.nf)) {
         if (const std::byte* src = phys_.data(pte->frame))
           std::copy_n(src, mem::kPageSize, dst);
       }
       phys_.free(pte->frame);
-      pte->frame = nf;
+      pte->frame = it.nf;
       ++migrated;
       ++kstats_.pages_migrated_process;
     }

@@ -94,9 +94,21 @@ void UserNextTouch::complete_window(kern::ThreadCtx& t, vm::Vaddr key, vm::Vaddr
   for (vm::Vpn vpn = first; vpn < last; ++vpn) pages.push_back(vm::addr_of(vpn));
   std::vector<topo::NodeId> nodes(pages.size(), target);
   std::vector<int> status(pages.size(), 0);
-  k_.sys_move_pages(t, pages, nodes, status);
-  for (int s : status)
-    if (s >= 0) ++stats_.pages_moved;
+  const long r = k_.sys_move_pages(t, pages, nodes, status);
+
+  // move_pages may fail wholesale (r < 0) or per page (negative status,
+  // e.g. -ENOMEM when the target node is exhausted). Either way the pages
+  // are still resident on their source node, so the only correct move is to
+  // restore protection and let the access proceed remotely — re-arming (or
+  // aborting) here would re-fault the same address forever.
+  std::uint64_t failed = 0;
+  if (r < 0) {
+    failed = pages.size();
+  } else {
+    for (int s : status) (s >= 0 ? ++stats_.pages_moved : ++failed);
+  }
+  stats_.pages_failed += failed;
+  if (failed != 0) ++stats_.degraded_windows;
   ++stats_.granules_migrated;
 
   k_.sys_mprotect(t, lo, hi - lo, region.orig_prot,

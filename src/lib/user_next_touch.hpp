@@ -23,6 +23,12 @@ class UserNextTouch {
     std::uint64_t faults_handled = 0;
     std::uint64_t pages_moved = 0;
     std::uint64_t granules_migrated = 0;
+    /// Pages whose move_pages status came back negative (destination
+    /// exhausted, transient kernel failure...). They stay on their source
+    /// node; the window is still disarmed so the access proceeds remotely.
+    std::uint64_t pages_failed = 0;
+    /// Windows where at least one page failed to move (degraded completion).
+    std::uint64_t degraded_windows = 0;
   };
 
   /// Installs this object as the process SIGSEGV handler. At most one

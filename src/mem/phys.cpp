@@ -15,6 +15,7 @@ PhysMem::PhysMem(const topo::Topology& topo, Backing backing,
     std::uint64_t cap = topo.node_spec(n).dram_capacity_bytes >> kPageShift;
     if (max_frames_per_node != 0) cap = std::min(cap, max_frames_per_node);
     per_node_[n].capacity = cap;
+    per_node_[n].base_capacity = cap;
 
     auto& order = fallback_order_[n];
     order.resize(topo.num_nodes());
@@ -25,9 +26,18 @@ PhysMem::PhysMem(const topo::Topology& topo, Backing backing,
   }
 }
 
-FrameId PhysMem::take_frame(topo::NodeId node) {
+FrameId PhysMem::take_frame(topo::NodeId node, bool use_reserve) {
   NodePool& pool = per_node_[node];
   if (pool.used >= pool.capacity) return kInvalidFrame;
+  const std::uint64_t free = pool.capacity - pool.used;
+  if (free <= pool.wm_min) {
+    // Only reserve-entitled allocations may dip below the min watermark.
+    if (!use_reserve) {
+      ++pool.watermark_blocks;
+      return kInvalidFrame;
+    }
+    ++pool.reserve_allocs;
+  }
   ++pool.used;
   ++allocs_;
   FrameId id;
@@ -45,21 +55,42 @@ FrameId PhysMem::take_frame(topo::NodeId node) {
   return id;
 }
 
-FrameId PhysMem::alloc_on(topo::NodeId node) {
+FrameId PhysMem::alloc_on(topo::NodeId node, bool use_reserve) {
   assert(node < per_node_.size());
-  return take_frame(node);
+  return take_frame(node, use_reserve);
 }
 
-FrameId PhysMem::alloc_near(topo::NodeId preferred) {
+FrameId PhysMem::alloc_near(topo::NodeId preferred, bool use_reserve) {
   assert(preferred < per_node_.size());
   for (topo::NodeId n : fallback_order_[preferred]) {
-    const FrameId f = take_frame(n);
+    const FrameId f = take_frame(n, use_reserve);
     if (f != kInvalidFrame) {
       if (n != preferred) ++fallbacks_;
       return f;
     }
   }
   return kInvalidFrame;
+}
+
+void PhysMem::set_watermarks(double min_frac, double low_frac) {
+  assert(min_frac >= 0.0 && low_frac >= min_frac);
+  for (topo::NodeId n = 0; n < per_node_.size(); ++n) {
+    const double cap = static_cast<double>(per_node_[n].capacity);
+    set_node_watermarks(n, static_cast<std::uint64_t>(cap * min_frac),
+                        static_cast<std::uint64_t>(cap * low_frac));
+  }
+}
+
+void PhysMem::set_node_watermarks(topo::NodeId n, std::uint64_t min_frames,
+                                  std::uint64_t low_frames) {
+  assert(n < per_node_.size());
+  per_node_[n].wm_min = min_frames;
+  per_node_[n].wm_low = std::max(min_frames, low_frames);
+}
+
+void PhysMem::set_node_capacity(topo::NodeId n, std::uint64_t frames) {
+  assert(n < per_node_.size());
+  per_node_[n].capacity = std::min(frames, per_node_[n].base_capacity);
 }
 
 void PhysMem::free(FrameId f) {

@@ -35,16 +35,50 @@ class PhysMem {
   PhysMem(const PhysMem&) = delete;
   PhysMem& operator=(const PhysMem&) = delete;
 
-  /// Allocate a frame on exactly `node`; kInvalidFrame when the node is full.
-  FrameId alloc_on(topo::NodeId node);
+  /// Allocate a frame on exactly `node`; kInvalidFrame when the node is full
+  /// or (unless `use_reserve`) its free frames are at/below the min
+  /// watermark. `use_reserve` models GFP_ATOMIC-style dips into the reserve
+  /// pool: only a truly full node fails.
+  FrameId alloc_on(topo::NodeId node, bool use_reserve = false);
 
   /// Allocate on `preferred`, falling back to other nodes in increasing hop
-  /// distance (ties by node id). kInvalidFrame only when the machine is full.
-  FrameId alloc_near(topo::NodeId preferred);
+  /// distance (ties by node id), skipping nodes at their min watermark (the
+  /// zonelist walk). kInvalidFrame only when every node is exhausted.
+  FrameId alloc_near(topo::NodeId preferred, bool use_reserve = false);
 
   void free(FrameId f);
 
+  // --- memory-pressure model (Linux zone watermarks) -------------------------
+  /// Keep `min` frames of every node in reserve (non-reserve allocations fail
+  /// first) and flag pressure once free frames drop below `low`. Fractions
+  /// of each node's capacity; both default to 0 (no watermarks).
+  void set_watermarks(double min_frac, double low_frac);
+  /// Per-node override in absolute frames.
+  void set_node_watermarks(topo::NodeId n, std::uint64_t min_frames,
+                           std::uint64_t low_frames);
+  std::uint64_t min_watermark(topo::NodeId n) const { return per_node_[n].wm_min; }
+  std::uint64_t low_watermark(topo::NodeId n) const { return per_node_[n].wm_low; }
+  /// True when `n`'s free frames are below its low watermark (kswapd would
+  /// be running).
+  bool under_pressure(topo::NodeId n) const {
+    return free_frames(n) < per_node_[n].wm_low;
+  }
+
+  /// Shrink (or restore, up to the construction-time size) node `n`'s usable
+  /// capacity. Fault plans use this to exhaust a node deterministically;
+  /// frames already allocated above the new cap stay valid until freed.
+  void set_node_capacity(topo::NodeId n, std::uint64_t frames);
+
   topo::NodeId node_of(FrameId f) const { return frames_[f].node; }
+
+  /// Pressure counters: allocations denied only by the min watermark, and
+  /// reserve-pool allocations that dipped below it.
+  std::uint64_t watermark_blocks(topo::NodeId n) const {
+    return per_node_[n].watermark_blocks;
+  }
+  std::uint64_t reserve_allocs(topo::NodeId n) const {
+    return per_node_[n].reserve_allocs;
+  }
 
   /// Host backing of a materialized frame; nullptr for phantom frames.
   std::byte* data(FrameId f) { return frames_[f].data.get(); }
@@ -54,7 +88,9 @@ class PhysMem {
   std::uint64_t capacity_frames(topo::NodeId n) const { return per_node_[n].capacity; }
   std::uint64_t used_frames(topo::NodeId n) const { return per_node_[n].used; }
   std::uint64_t free_frames(topo::NodeId n) const {
-    return per_node_[n].capacity - per_node_[n].used;
+    // A capacity cap may drop below the live count; clamp at zero.
+    const NodePool& p = per_node_[n];
+    return p.used >= p.capacity ? 0 : p.capacity - p.used;
   }
   std::uint64_t total_used_frames() const;
 
@@ -76,11 +112,16 @@ class PhysMem {
   };
   struct NodePool {
     std::uint64_t capacity = 0;
+    std::uint64_t base_capacity = 0;  // construction-time size (cap ceiling)
     std::uint64_t used = 0;
+    std::uint64_t wm_min = 0;  // frames kept in reserve
+    std::uint64_t wm_low = 0;  // pressure threshold
+    std::uint64_t watermark_blocks = 0;
+    std::uint64_t reserve_allocs = 0;
     std::vector<FrameId> free_list;  // frames returned by free()
   };
 
-  FrameId take_frame(topo::NodeId node);
+  FrameId take_frame(topo::NodeId node, bool use_reserve);
 
   const topo::Topology& topo_;
   Backing backing_;

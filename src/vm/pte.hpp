@@ -54,6 +54,15 @@ struct Pte {
   }
   void set(std::uint16_t f) { flags |= f; }
   void clear(std::uint16_t f) { flags &= static_cast<std::uint16_t>(~f); }
+
+  /// Re-derive the hardware permission bits from the owning VMA's
+  /// protection — the rearm step shared by fault repair, next-touch
+  /// completion, and its degraded (migration-failed) variant.
+  void restore_hw(Prot vma_prot) {
+    clear(kHwRead | kHwWrite);
+    if (prot_allows(vma_prot, Prot::kRead)) set(kHwRead);
+    if (prot_allows(vma_prot, Prot::kWrite)) set(kHwWrite);
+  }
 };
 
 }  // namespace numasim::vm

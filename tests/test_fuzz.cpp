@@ -4,6 +4,9 @@
 // replica aliasing and flag-state corruption that targeted tests miss.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "kern/kernel.hpp"
@@ -14,11 +17,18 @@ namespace {
 
 class Fuzzer {
  public:
-  Fuzzer(std::uint64_t seed, mem::Backing backing)
+  /// `fault_spec` arms a FaultInjector (seeded from the fuzz seed) for the
+  /// whole run, so every kernel path is exercised under injected failures.
+  Fuzzer(std::uint64_t seed, mem::Backing backing,
+         std::string_view fault_spec = {})
       : topo_(topo::Topology::quad_opteron()),
         k_(topo_, backing, {}, /*max_frames_per_node=*/4096),
         rng_(seed) {
     k_.set_replication_enabled(true);
+    if (!fault_spec.empty()) {
+      injector_.arm(FaultPlan::parse(fault_spec), seed ^ 0x5eed);
+      k_.set_fault_injector(&injector_);
+    }
     pid_ = k_.create_process("fuzz");
     k_.set_sigsegv_handler(pid_, [this](ThreadCtx& t, const SigInfo& info) {
       // Handler: restore full access to the faulting region if we armed it.
@@ -123,7 +133,11 @@ class Fuzzer {
     regions_.clear();
     k_.validate(pid_);
     EXPECT_EQ(k_.phys().total_used_frames(), 0u);
+    k_.set_fault_injector(nullptr);
   }
+
+  const Kernel& kernel() const { return k_; }
+  const FaultInjector& injector() const { return injector_; }
 
  private:
   struct Region {
@@ -148,6 +162,7 @@ class Fuzzer {
   topo::Topology topo_;
   kern::Kernel k_;
   sim::Rng rng_;
+  FaultInjector injector_;
   Pid pid_ = 0;
   sim::Time clock_ = 0;
   std::vector<Region> regions_;
@@ -169,6 +184,59 @@ TEST_P(FuzzTest, RandomOpSequencesKeepInvariantsMaterialized) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Values(1, 7, 1234, 99991, 0xdeadbeef));
+
+// --- the same op sequences under injected failures ---------------------------
+//
+// Three fault plans (destination-alloc ENOMEM, flaky page copies plus lost
+// IPIs and delayed signals, hard node exhaustion) run under the full
+// invariant audit after every step: no injected failure may leak a frame,
+// dangle a PTE or double-map anything, and teardown must still reach zero
+// used frames.
+
+constexpr std::string_view kPlanAllocFail = "alloc:p=0.05";
+constexpr std::string_view kPlanCopyFail =
+    "copy:pt=0.2,pp=0.05; shootdown:p=0.05; signal:p=0.1";
+constexpr std::string_view kPlanExhaustion =
+    "cap:node=1,frames=40; cap:node=3,frames=0; alloc:p=0.02";
+
+class FaultFuzzTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::string_view>> {};
+
+TEST_P(FaultFuzzTest, InjectedFailuresKeepInvariants) {
+  const auto [seed, plan] = GetParam();
+  Fuzzer f(seed, mem::Backing::kMaterialized, plan);
+  for (int i = 0; i < 200; ++i) f.step();
+  f.finish();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, FaultFuzzTest,
+    ::testing::Combine(::testing::Values(1, 42, 0xdeadbeef),
+                       ::testing::Values(kPlanAllocFail, kPlanCopyFail,
+                                         kPlanExhaustion)),
+    [](const auto& pinfo) {
+      const char* plan =
+          std::get<1>(pinfo.param) == kPlanAllocFail   ? "AllocFail"
+          : std::get<1>(pinfo.param) == kPlanCopyFail  ? "CopyFail"
+                                                       : "Exhaustion";
+      return std::string(plan) + "Seed" + std::to_string(std::get<0>(pinfo.param));
+    });
+
+TEST(FaultFuzzDeterminism, SameSeedAndPlanGiveIdenticalOutcome) {
+  auto run = [](std::uint64_t seed) {
+    Fuzzer f(seed, mem::Backing::kPhantom, kPlanCopyFail);
+    for (int i = 0; i < 150; ++i) f.step();
+    const KernelStats s = f.kernel().stats();
+    const FaultInjector::Counters c = f.injector().counters();
+    f.finish();
+    return std::tuple{s.pages_migrated_move,  s.migrations_failed,
+                      s.migration_retries,    s.nexttouch_degraded,
+                      s.shootdown_retries,    s.signals_delayed,
+                      c.copies_checked,       c.copies_transient,
+                      c.copies_permanent,     c.shootdowns_dropped};
+  };
+  EXPECT_EQ(run(0xabcd), run(0xabcd));
+}
 
 }  // namespace
 }  // namespace numasim::kern

@@ -82,5 +82,58 @@ TEST_F(PhysMemTest, CountersTrackTotals) {
   EXPECT_EQ(pm.total_used_frames(), 0u);
 }
 
+TEST_F(PhysMemTest, MinWatermarkReservesFramesForReserveAllocs) {
+  PhysMem pm(topo_, Backing::kPhantom, 8);
+  pm.set_node_watermarks(0, /*min_frames=*/2, /*low_frames=*/4);
+  std::vector<FrameId> frames;
+  for (int i = 0; i < 6; ++i) {
+    const FrameId f = pm.alloc_on(0);
+    ASSERT_NE(f, kInvalidFrame);
+    frames.push_back(f);
+  }
+  // 2 frames left, all reserve: normal allocations fail and are counted...
+  EXPECT_EQ(pm.alloc_on(0), kInvalidFrame);
+  EXPECT_EQ(pm.watermark_blocks(0), 1u);
+  // ...while reserve allocations dip into the pool until truly empty.
+  EXPECT_NE(pm.alloc_on(0, /*use_reserve=*/true), kInvalidFrame);
+  EXPECT_NE(pm.alloc_on(0, /*use_reserve=*/true), kInvalidFrame);
+  EXPECT_EQ(pm.alloc_on(0, /*use_reserve=*/true), kInvalidFrame);
+  EXPECT_EQ(pm.reserve_allocs(0), 2u);
+}
+
+TEST_F(PhysMemTest, LowWatermarkFlagsPressure) {
+  PhysMem pm(topo_, Backing::kPhantom, 8);
+  pm.set_watermarks(/*min_frac=*/0.125, /*low_frac=*/0.5);  // min 1, low 4
+  EXPECT_EQ(pm.min_watermark(1), 1u);
+  EXPECT_EQ(pm.low_watermark(1), 4u);
+  EXPECT_FALSE(pm.under_pressure(1));
+  for (int i = 0; i < 5; ++i) pm.alloc_on(1);
+  EXPECT_TRUE(pm.under_pressure(1));  // 3 free < low of 4
+}
+
+TEST_F(PhysMemTest, ZonelistWalkSkipsNodesAtTheirWatermark) {
+  PhysMem pm(topo_, Backing::kPhantom, 4);
+  pm.set_node_watermarks(0, /*min_frames=*/4, /*low_frames=*/4);
+  // Node 0 is entirely reserve: a preferred-node alloc falls through to the
+  // next node in hop order instead of failing.
+  const FrameId f = pm.alloc_near(0);
+  ASSERT_NE(f, kInvalidFrame);
+  EXPECT_EQ(pm.node_of(f), 1u);
+}
+
+TEST_F(PhysMemTest, CapacityCapExhaustsAndRestores) {
+  PhysMem pm(topo_, Backing::kPhantom, 8);
+  std::vector<FrameId> frames;
+  for (int i = 0; i < 4; ++i) frames.push_back(pm.alloc_on(2));
+  pm.set_node_capacity(2, 2);  // below the live count of 4
+  EXPECT_EQ(pm.free_frames(2), 0u);  // clamped, no underflow
+  EXPECT_EQ(pm.alloc_on(2), kInvalidFrame);
+  for (FrameId f : frames) pm.free(f);  // frames above the cap stay valid
+  EXPECT_EQ(pm.used_frames(2), 0u);
+  pm.set_node_capacity(2, 100);  // clamped to the construction-time size
+  EXPECT_EQ(pm.capacity_frames(2), 8u);
+  EXPECT_NE(pm.alloc_on(2), kInvalidFrame);
+}
+
 }  // namespace
 }  // namespace numasim::mem
