@@ -15,6 +15,7 @@ using namespace numasim;
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const topo::Topology t = topo::Topology::quad_opteron();
   const std::uint64_t npages = opts.quick ? 512 : 4096;
   const std::uint64_t len = npages * mem::kPageSize;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t g : granules) {
     if (g > npages) continue;
     kern::Kernel k(t, mem::Backing::kPhantom);
+    bench::observe(k);
     const kern::Pid pid = k.create_process();
     kern::ThreadCtx owner;
     owner.pid = pid;
@@ -53,5 +55,6 @@ int main(int argc, char** argv) {
          numasim::bench::fmt(sim::to_microseconds(dur) /
                              static_cast<double>(unt.stats().faults_handled))});
   }
+  obsv.finish();
   return 0;
 }

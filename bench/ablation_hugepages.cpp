@@ -12,6 +12,7 @@ using namespace numasim;
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const topo::Topology t = topo::Topology::quad_opteron();
 
   numasim::bench::print_header(
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
     const std::uint64_t len = mib << 20;
 
     kern::Kernel k(t, mem::Backing::kPhantom);
+    bench::observe(k);
     const kern::Pid pid = k.create_process();
     kern::ThreadCtx c;
     c.pid = pid;
@@ -56,5 +58,6 @@ int main(int argc, char** argv) {
                                    "%.2fx"),
                migrates(small) ? "yes" : "no", migrates(huge) ? "yes" : "no"});
   }
+  obsv.finish();
   return 0;
 }

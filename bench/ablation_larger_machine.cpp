@@ -20,6 +20,7 @@ sim::Time run_lu(const topo::Topology& topo, std::uint64_t n, std::uint64_t bs,
   mc.topology = topo;
   mc.backing = mem::Backing::kPhantom;
   rt::Machine m(mc);
+  bench::observe(m);
   rt::Team team = rt::Team::all_cores(m);
   apps::LuConfig cfg;
   cfg.n = n;
@@ -34,6 +35,7 @@ sim::Time run_lu(const topo::Topology& topo, std::uint64_t n, std::uint64_t bs,
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const std::uint64_t n = opts.quick ? 2048 : 4096;
   const std::uint64_t bs = 512;
 
@@ -59,5 +61,6 @@ int main(int argc, char** argv) {
              100.0 * (static_cast<double>(stat) / static_cast<double>(nt) - 1.0),
              "%+.1f")});
   }
+  obsv.finish();
   return 0;
 }

@@ -34,6 +34,7 @@ struct Result {
 Result run(const topo::Topology& t, std::uint64_t max_frames,
            std::uint64_t npages, std::uint64_t filler_pages, bool user_nt) {
   kern::Kernel k(t, mem::Backing::kPhantom, {}, max_frames);
+  bench::observe(k);
   const kern::Pid pid = k.create_process("pressure");
   kern::EventLog log(1 << 20);
   k.set_event_log(&log);
@@ -86,6 +87,7 @@ Result run(const topo::Topology& t, std::uint64_t max_frames,
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const topo::Topology t = topo::Topology::quad_opteron();
 
   const std::uint64_t max_frames = opts.quick ? 8192 : 32768;
@@ -110,5 +112,6 @@ int main(int argc, char** argv) {
                numasim::bench::fmt_u64(unt.moved),
                numasim::bench::fmt_u64(unt.degraded)});
   }
+  obsv.finish();
   return 0;
 }

@@ -16,6 +16,7 @@ namespace {
 
 double classic_mbps(const topo::Topology& t, std::uint64_t npages) {
   kern::Kernel k(t, mem::Backing::kPhantom);
+  bench::observe(k);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx c;
   c.pid = pid;
@@ -34,6 +35,7 @@ double classic_mbps(const topo::Topology& t, std::uint64_t npages) {
 
 double ranged_mbps(const topo::Topology& t, std::uint64_t npages) {
   kern::Kernel k(t, mem::Backing::kPhantom);
+  bench::observe(k);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx c;
   c.pid = pid;
@@ -51,6 +53,7 @@ double ranged_mbps(const topo::Topology& t, std::uint64_t npages) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const topo::Topology t = topo::Topology::quad_opteron();
 
   numasim::bench::print_header(
@@ -64,5 +67,6 @@ int main(int argc, char** argv) {
                                      numasim::bench::fmt(c), numasim::bench::fmt(r),
                                      numasim::bench::fmt(r / c, "%.2fx")});
   }
+  obsv.finish();
   return 0;
 }

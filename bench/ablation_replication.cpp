@@ -17,6 +17,7 @@ enum class Mode { kStatic, kNextTouch, kReplicate };
 sim::Time run(Mode mode, std::uint64_t npages, unsigned passes) {
   rt::Machine::Config mc = bench::phantom_config();
   rt::Machine m(mc);
+  bench::observe(m);
   m.kernel().set_replication_enabled(true);
   sim::Time span = 0;
 
@@ -46,6 +47,7 @@ sim::Time run(Mode mode, std::uint64_t npages, unsigned passes) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const std::uint64_t npages = opts.quick ? 256 : 1024;  // 4 MiB table
   numasim::bench::print_header(
       opts, "Ablation — shared read-mostly table, 16 threads (simulated ms)",
@@ -59,5 +61,6 @@ int main(int argc, char** argv) {
          numasim::bench::fmt(sim::to_seconds(run(Mode::kNextTouch, npages, passes)) * 1e3, "%.2f"),
          numasim::bench::fmt(sim::to_seconds(run(Mode::kReplicate, npages, passes)) * 1e3, "%.2f")});
   }
+  obsv.finish();
   return 0;
 }

@@ -14,6 +14,7 @@ namespace {
 /// Patched move_pages plateau throughput under a modified cost model.
 double move_pages_plateau(const topo::Topology& t, const kern::CostModel& cm) {
   kern::Kernel k(t, mem::Backing::kPhantom, cm);
+  bench::observe(k);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx c;
   c.pid = pid;
@@ -33,6 +34,7 @@ double move_pages_plateau(const topo::Topology& t, const kern::CostModel& cm) {
 /// Kernel next-touch plateau under a modified cost model.
 double nt_plateau(const topo::Topology& t, const kern::CostModel& cm) {
   kern::Kernel k(t, mem::Backing::kPhantom, cm);
+  bench::observe(k);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx c;
   c.pid = pid;
@@ -55,6 +57,7 @@ double nt_plateau(const topo::Topology& t, const kern::CostModel& cm) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const topo::Topology t = topo::Topology::quad_opteron();
 
   struct Knob {
@@ -95,5 +98,6 @@ int main(int argc, char** argv) {
                  numasim::bench::fmt(nt_plateau(t, cm))});
     }
   }
+  obsv.finish();
   return 0;
 }

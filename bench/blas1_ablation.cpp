@@ -13,6 +13,7 @@ namespace {
 
 sim::Time run_sweep(unsigned passes, apps::Blas1Config::Mode mode) {
   rt::Machine m(bench::phantom_config());
+  bench::observe(m);
   apps::Blas1Config cfg;
   cfg.n = 1u << 19;  // 4 MiB vectors
   cfg.passes = passes;
@@ -28,6 +29,7 @@ sim::Time run_sweep(unsigned passes, apps::Blas1Config::Mode mode) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   using Mode = apps::Blas1Config::Mode;
 
   numasim::bench::print_header(
@@ -48,5 +50,6 @@ int main(int argc, char** argv) {
                numasim::bench::fmt(sim::to_seconds(lazy) * 1e3, "%.2f"),
                (sync < remote || lazy < remote) ? "yes" : "no"});
   }
+  obsv.finish();
   return 0;
 }

@@ -7,11 +7,17 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kern/kernel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "rt/machine.hpp"
 #include "rt/team.hpp"
 #include "rt/thread.hpp"
@@ -20,14 +26,42 @@ namespace numasim::bench {
 
 struct Options {
   bool csv = false;
-  bool quick = false;  ///< reduced sweeps for smoke runs
+  bool quick = false;      ///< reduced sweeps for smoke runs
+  bool metrics = false;    ///< print a metrics report to stderr on exit
+  std::string trace_file;  ///< write Chrome trace-event JSON here ("--trace=")
 };
+
+inline void print_usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--csv] [--quick] [--metrics] [--trace=FILE]\n"
+               "  --csv          machine-readable output\n"
+               "  --quick        reduced sweeps for smoke runs\n"
+               "  --metrics      print a metrics report to stderr on exit\n"
+               "  --trace=FILE   write a Chrome trace-event JSON file\n"
+               "                 (open in chrome://tracing or ui.perfetto.dev)\n",
+               prog);
+}
 
 inline Options parse_options(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) o.csv = true;
-    if (std::strcmp(argv[i], "--quick") == 0) o.quick = true;
+    const char* a = argv[i];
+    if (std::strcmp(a, "--csv") == 0) {
+      o.csv = true;
+    } else if (std::strcmp(a, "--quick") == 0) {
+      o.quick = true;
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      o.metrics = true;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      o.trace_file = a + 8;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      print_usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], a);
+      print_usage(argv[0]);
+      std::exit(2);
+    }
   }
   return o;
 }
@@ -75,6 +109,88 @@ inline std::string fmt_u64(std::uint64_t v) {
   std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
   return buf;
 }
+
+class Observability;
+
+/// Process-wide hook: the live Observability instance, if any. Measurement
+/// helpers construct kernels locally, so they announce each one through
+/// observe() instead of threading a handle through every signature.
+inline Observability*& obs_hook() {
+  static Observability* hook = nullptr;
+  return hook;
+}
+
+/// Owns the observability state of one benchmark run: a metrics registry
+/// that accumulates across every kernel the run constructs (kernel
+/// destruction folds its counters in), a Chrome trace writer, and a
+/// numastat-style periodic reporter. Reports go to stderr so `--csv` stdout
+/// stays machine-readable. Does nothing (and attaches nothing) unless
+/// `--metrics` or `--trace=` was given.
+class Observability {
+ public:
+  explicit Observability(Options o) : opts_(std::move(o)) {
+    if (!opts_.trace_file.empty())
+      writer_ = std::make_unique<obs::ChromeTraceWriter>();
+    if (opts_.metrics) {
+      obs::PeriodicReporter::Output out = [](const std::string& s) {
+        std::fputs(s.c_str(), stderr);
+      };
+      reporter_ = std::make_unique<obs::PeriodicReporter>(
+          registry_, kReportInterval, std::move(out));
+    }
+    obs_hook() = this;
+  }
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+  ~Observability() {
+    if (obs_hook() == this) obs_hook() = nullptr;
+  }
+
+  void attach(kern::Kernel& k) {
+    if (opts_.metrics) k.set_metrics(&registry_);
+    if (writer_ != nullptr) k.add_trace_sink(writer_.get());
+    if (reporter_ != nullptr) k.add_trace_sink(reporter_.get());
+  }
+  void attach(rt::Machine& m) { attach(m.kernel()); }
+
+  const obs::Registry& registry() const { return registry_; }
+
+  /// Flush at the end of main: write the trace file, print the cumulative
+  /// metrics report.
+  void finish() {
+    if (writer_ != nullptr) {
+      if (writer_->write_file(opts_.trace_file)) {
+        std::fprintf(stderr, "# trace: %zu events -> %s",
+                     writer_->size(), opts_.trace_file.c_str());
+        if (writer_->dropped() > 0)
+          std::fprintf(stderr, " (%llu dropped)",
+                       static_cast<unsigned long long>(writer_->dropped()));
+        std::fprintf(stderr, "\n");
+      } else {
+        std::fprintf(stderr, "# trace: failed to write %s\n",
+                     opts_.trace_file.c_str());
+      }
+    }
+    if (opts_.metrics)
+      std::fprintf(stderr, "== metrics (cumulative) ==\n%s",
+                   registry_.render().c_str());
+  }
+
+ private:
+  static constexpr sim::Time kReportInterval = 10'000'000;  // 10 ms simulated
+
+  Options opts_;
+  obs::Registry registry_;
+  std::unique_ptr<obs::ChromeTraceWriter> writer_;
+  std::unique_ptr<obs::PeriodicReporter> reporter_;
+};
+
+/// Announce a freshly constructed kernel/machine to the run's Observability
+/// (no-op when none is live or no observability flag was given).
+inline void observe(kern::Kernel& k) {
+  if (obs_hook() != nullptr) obs_hook()->attach(k);
+}
+inline void observe(rt::Machine& m) { observe(m.kernel()); }
 
 /// Fresh phantom-backed paper machine (one per measurement so hardware
 /// timelines start idle).

@@ -21,6 +21,7 @@ struct Probe {
 
   Probe(const topo::Topology& t, std::uint64_t npages)
       : k(t, mem::Backing::kPhantom), pid(k.create_process()), len(npages * mem::kPageSize) {
+    bench::observe(k);
     ctx.pid = pid;
     ctx.core = 0;  // node 0
     buf = k.sys_mmap(ctx, len, vm::Prot::kReadWrite,
@@ -65,6 +66,7 @@ double measure_move_pages(const topo::Topology& t, std::uint64_t npages,
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const topo::Topology t = topo::Topology::quad_opteron();
 
   numasim::bench::print_header(
@@ -84,5 +86,6 @@ int main(int argc, char** argv) {
          numasim::bench::fmt(measure_move_pages(t, n, kern::MovePagesImpl::kLinear)),
          numasim::bench::fmt(measure_move_pages(t, n, kern::MovePagesImpl::kQuadratic))});
   }
+  obsv.finish();
   return 0;
 }

@@ -25,9 +25,11 @@ struct Probe {
   Probe(const topo::Topology& t, std::uint64_t npages)
       : k(t, mem::Backing::kPhantom), pid(k.create_process()),
         len(npages * mem::kPageSize) {
+    bench::observe(k);
     owner.pid = pid;
     owner.core = 0;
     toucher.pid = pid;
+    toucher.tid = 1;   // distinct timeline row in trace output
     toucher.core = 4;  // node 1
     buf = k.sys_mmap(owner, len, vm::Prot::kReadWrite, {}, "nt");
     k.access(owner, buf, len, vm::Prot::kWrite, 3500.0);
@@ -65,6 +67,7 @@ double measure_kernel_nt(const topo::Topology& t, std::uint64_t npages) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const topo::Topology t = topo::Topology::quad_opteron();
 
   numasim::bench::print_header(
@@ -78,5 +81,6 @@ int main(int argc, char** argv) {
                numasim::bench::fmt(measure_user_nt(t, n, kern::MovePagesImpl::kLinear)),
                numasim::bench::fmt(measure_kernel_nt(t, n))});
   }
+  obsv.finish();
   return 0;
 }

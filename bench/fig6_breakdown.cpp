@@ -26,9 +26,11 @@ struct Probe {
   Probe(const topo::Topology& t, std::uint64_t npages)
       : k(t, mem::Backing::kPhantom), pid(k.create_process()),
         len(npages * mem::kPageSize) {
+    bench::observe(k);
     owner.pid = pid;
     owner.core = 0;
     toucher.pid = pid;
+    toucher.tid = 1;  // distinct timeline row in trace output
     toucher.core = 4;
     buf = k.sys_mmap(owner, len, vm::Prot::kReadWrite, {}, "nt");
     k.access(owner, buf, len, vm::Prot::kWrite, 3500.0);
@@ -48,6 +50,7 @@ double pct(const sim::CostStats& s, sim::CostKind k) { return 100.0 * s.fraction
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   const topo::Topology t = topo::Topology::quad_opteron();
 
   numasim::bench::print_header(
@@ -91,5 +94,6 @@ int main(int argc, char** argv) {
                numasim::bench::fmt(pct(s, sim::CostKind::kMadvise) +
                                    pct(s, sim::CostKind::kSyscallEntry))});
   }
+  obsv.finish();
   return 0;
 }

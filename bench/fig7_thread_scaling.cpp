@@ -15,6 +15,7 @@ namespace {
 
 sim::Time run_one(std::uint64_t npages, unsigned nthreads, bool lazy) {
   rt::Machine m(bench::phantom_config());
+  bench::observe(m);
   sim::Time span = 0;
   m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
     const std::uint64_t len = npages * mem::kPageSize;
@@ -45,6 +46,7 @@ sim::Time run_one(std::uint64_t npages, unsigned nthreads, bool lazy) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
 
   std::vector<std::string> cols{"pages"};
   for (unsigned n = 1; n <= 4; ++n) cols.push_back("sync_" + std::to_string(n) + "t");
@@ -64,5 +66,6 @@ int main(int argc, char** argv) {
     }
     numasim::bench::print_row(opts, row);
   }
+  obsv.finish();
   return 0;
 }

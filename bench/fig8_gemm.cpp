@@ -16,6 +16,7 @@ namespace {
 
 sim::Time run_batch(std::uint64_t n, apps::MatmulBatchConfig::Mode mode) {
   rt::Machine m(bench::phantom_config());
+  bench::observe(m);
   rt::Team team = rt::Team::all_cores(m);
   apps::MatmulBatchConfig cfg;
   cfg.n = n;
@@ -29,6 +30,7 @@ sim::Time run_batch(std::uint64_t n, apps::MatmulBatchConfig::Mode mode) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   using Mode = apps::MatmulBatchConfig::Mode;
 
   numasim::bench::print_header(
@@ -46,5 +48,6 @@ int main(int argc, char** argv) {
          numasim::bench::fmt(sim::to_seconds(run_batch(n, Mode::kKernelNextTouch)), "%.4f"),
          numasim::bench::fmt(sim::to_seconds(run_batch(n, Mode::kUserNextTouch)), "%.4f")});
   }
+  obsv.finish();
   return 0;
 }

@@ -13,6 +13,7 @@ apps::SpmvResult run(apps::SpmvConfig cfg) {
   rt::Machine::Config mc;
   mc.backing = mem::Backing::kPhantom;
   rt::Machine m(mc);
+  bench::observe(m);
   rt::Team team = rt::Team::all_cores(m);
   apps::Spmv app(m, team, cfg);
   m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> { co_await app.run(th); });
@@ -23,6 +24,7 @@ apps::SpmvResult run(apps::SpmvConfig cfg) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
   using Policy = apps::SpmvConfig::Policy;
 
   numasim::bench::print_header(
@@ -56,5 +58,6 @@ int main(int argc, char** argv) {
          numasim::bench::fmt_u64(repl.pages_migrated),
          numasim::bench::fmt_u64(repl.replicas_created)});
   }
+  obsv.finish();
   return 0;
 }

@@ -16,6 +16,7 @@ namespace {
 
 sim::Time run_lu(std::uint64_t n, std::uint64_t bs, bool next_touch) {
   rt::Machine m(bench::phantom_config());
+  bench::observe(m);
   rt::Team team = rt::Team::all_cores(m);
   apps::LuConfig cfg;
   cfg.n = n;
@@ -30,6 +31,7 @@ sim::Time run_lu(std::uint64_t n, std::uint64_t bs, bool next_touch) {
 
 int main(int argc, char** argv) {
   const auto opts = numasim::bench::parse_options(argc, argv);
+  numasim::bench::Observability obsv(opts);
 
   struct Case {
     std::uint64_t n, bs;
@@ -58,5 +60,6 @@ int main(int argc, char** argv) {
                numasim::bench::fmt(sim::to_seconds(nt), "%.2f"),
                numasim::bench::fmt(imp, "%+.1f")});
   }
+  obsv.finish();
   return 0;
 }

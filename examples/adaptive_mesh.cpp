@@ -56,17 +56,20 @@ sim::Time run(unsigned steps, bool next_touch) {
   m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
     kern::Kernel& k = m.kernel();
     const std::uint64_t bytes = kCells * kCellBytes;
-    const vm::Vaddr mesh =
-        lib::numa_alloc_interleaved(th.ctx(), k, bytes, "mesh");
-    lib::populate(th.ctx(), k, mesh, bytes);
+    lib::NumaBuffer mesh_buf =
+        lib::NumaBuffer::interleaved(th.ctx(), k, bytes, "mesh");
+    mesh_buf.populate(th.ctx());
     co_await th.sync();
+    const vm::Vaddr mesh = mesh_buf.addr();
 
     const sim::Time t0 = th.now();
     for (unsigned step = 0; step < steps; ++step) {
       // Rebalance, then (optionally) let the data follow its new owners.
       const auto bounds = partition(step, team.size());
-      if (next_touch)
-        co_await th.madvise(mesh, bytes, kern::Advice::kMigrateOnNextTouch);
+      if (next_touch) {
+        mesh_buf.lazy_migrate(th.ctx());
+        co_await th.sync();
+      }
 
       rt::Team::WorkerFn body = [&, step, bounds](unsigned tid, rt::Thread& w)
           -> sim::Task<void> {
@@ -79,7 +82,7 @@ sim::Time run(unsigned steps, bool next_touch) {
             co_await w.touch(mesh + c * kCellBytes, kCellBytes, vm::Prot::kRead);
         }
       };
-      co_await team.parallel(th, std::move(body));
+      co_await team.parallel(th, std::move(body), "mesh-step");
     }
     span = th.now() - t0;
   });

@@ -20,13 +20,12 @@ using namespace numasim;
 
 namespace {
 
-void show_placement(rt::Machine& m, const char* what, vm::Vaddr a,
-                    std::uint64_t len) {
+void show_placement(rt::Machine& m, const char* what,
+                    const lib::NumaBuffer& buf) {
   std::printf("%-38s", what);
   for (topo::NodeId n = 0; n < m.topology().num_nodes(); ++n)
     std::printf(" N%u=%-4llu", n,
-                static_cast<unsigned long long>(
-                    m.kernel().pages_on_node(m.pid(), a, len, n)));
+                static_cast<unsigned long long>(buf.pages_on(n)));
   std::printf("\n");
 }
 
@@ -41,41 +40,44 @@ int main() {
     kern::Kernel& k = m.kernel();
     const std::uint64_t len = 64 * mem::kPageSize;
 
-    // --- placement policies -------------------------------------------------
-    const vm::Vaddr ft = lib::numa_alloc_local(th.ctx(), k, len, "first-touch");
-    const vm::Vaddr il = lib::numa_alloc_interleaved(th.ctx(), k, len, "interleave");
-    const vm::Vaddr b3 = lib::numa_alloc_onnode(th.ctx(), k, len, 3, "bind3");
-    co_await th.touch(ft, len);
-    co_await th.touch(il, len);
-    co_await th.touch(b3, len);
+    // --- placement policies: RAII NumaBuffer handles -----------------------
+    lib::NumaBuffer ft = lib::NumaBuffer::local(th.ctx(), k, len, "first-touch");
+    lib::NumaBuffer il =
+        lib::NumaBuffer::interleaved(th.ctx(), k, len, "interleave");
+    lib::NumaBuffer b3 = lib::NumaBuffer::on_node(th.ctx(), k, len, 3, "bind3");
+    co_await th.touch(ft.addr(), ft.size());
+    co_await th.touch(il.addr(), il.size());
+    co_await th.touch(b3.addr(), b3.size());
     std::printf("=== placement (thread on core %u / node %u) ===\n", th.core(),
                 th.node());
-    show_placement(m, "first-touch:", ft, len);
-    show_placement(m, "interleaved:", il, len);
-    show_placement(m, "bound to node 3:", b3, len);
+    show_placement(m, "first-touch:", ft);
+    show_placement(m, "interleaved:", il);
+    show_placement(m, "bound to node 3:", b3);
 
     // --- synchronous migration ----------------------------------------------
     const sim::Time t0 = th.now();
-    const long moved = co_await th.move_range(ft, len, 2);
+    const kern::SyscallResult moved = ft.sync_migrate(th.ctx(), 2);
+    co_await th.sync();
     std::printf("\n=== move_pages ===\nmigrated %ld pages to node 2 in %s "
                 "(%.0f MB/s)\n",
-                moved, sim::format_time(th.now() - t0).c_str(),
+                static_cast<long>(moved), sim::format_time(th.now() - t0).c_str(),
                 sim::mb_per_second(len, th.now() - t0));
-    show_placement(m, "after move_pages:", ft, len);
+    show_placement(m, "after move_pages:", ft);
 
     // --- kernel next-touch ---------------------------------------------------
-    co_await th.madvise(ft, len, kern::Advice::kMigrateOnNextTouch);
+    ft.lazy_migrate(th.ctx());
+    co_await th.sync();
     std::printf("\n=== next-touch ===\nmarked migrate-on-next-touch; hopping "
                 "to core 12 (node 3) and touching...\n");
     co_await th.migrate_to_core(12);
     const sim::Time t1 = th.now();
-    const kern::AccessResult r = co_await th.touch(ft, len);
+    const kern::AccessResult r = co_await th.touch(ft.addr(), ft.size());
     std::printf("touch faulted %llu pages, migrated %llu in %s (%.0f MB/s)\n",
                 static_cast<unsigned long long>(r.pages),
                 static_cast<unsigned long long>(r.nexttouch_migrations),
                 sim::format_time(th.now() - t1).c_str(),
                 sim::mb_per_second(len, th.now() - t1));
-    show_placement(m, "after next-touch:", ft, len);
+    show_placement(m, "after next-touch:", ft);
 
     std::printf("\n=== numa_maps ===\n%s", k.numa_maps(m.pid()).c_str());
     std::printf("\nsimulated time elapsed: %s\n",

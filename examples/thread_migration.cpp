@@ -44,9 +44,12 @@ sim::Time run(Policy policy) {
 
   m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
     kern::Kernel& k = m.kernel();
-    // Build the working set locally on node 0.
-    const vm::Vaddr ws = lib::numa_alloc_local(th.ctx(), k, kWorksetBytes, "ws");
-    co_await th.touch(ws, kWorksetBytes);
+    // Build the working set locally on node 0 (freed by the handle's dtor).
+    lib::NumaBuffer ws = lib::NumaBuffer::local(th.ctx(), k, kWorksetBytes, "ws");
+    {
+      rt::Thread::Phase build = th.phase("build-workset");
+      co_await th.touch(ws.addr(), ws.size());
+    }
 
     // Scheduler decision: thread moves to node 2.
     co_await th.migrate_to_core(8);
@@ -55,18 +58,22 @@ sim::Time run(Policy policy) {
     const std::uint64_t used =
         static_cast<std::uint64_t>(kTouchedFraction * kWorksetBytes);
     if (policy == Policy::kSyncMove) {
-      co_await th.move_range(ws, kWorksetBytes, th.node());
+      ws.sync_migrate(th.ctx(), th.node());
+      co_await th.sync();
     } else if (policy == Policy::kLazyNextTouch) {
-      co_await th.madvise(ws, kWorksetBytes, kern::Advice::kMigrateOnNextTouch);
+      ws.lazy_migrate(th.ctx());
+      co_await th.sync();
     }
-    for (unsigned p = 0; p < kPasses; ++p)
-      co_await th.touch(ws, used, vm::Prot::kReadWrite);
+    {
+      rt::Thread::Phase use = th.phase("post-migration-passes");
+      for (unsigned p = 0; p < kPasses; ++p)
+        co_await th.touch(ws.addr(), used, vm::Prot::kReadWrite);
+    }
     elapsed = th.now() - t0;
 
     std::printf("%-24s %10s   pages now on node 2: %llu/%llu\n", name_of(policy),
                 sim::format_time(elapsed).c_str(),
-                static_cast<unsigned long long>(
-                    k.pages_on_node(m.pid(), ws, kWorksetBytes, 2)),
+                static_cast<unsigned long long>(ws.pages_on(2)),
                 static_cast<unsigned long long>(kWorksetPages));
   });
   return elapsed;

@@ -9,11 +9,13 @@ sim::Task<void> Blas1Sweep::run(rt::Thread& main, topo::CoreId worker_core) {
   kern::Kernel& k = m_.kernel();
   const std::uint64_t vec_bytes = cfg_.n * blas::kElemBytes;
 
-  const vm::Vaddr x = lib::numa_alloc_local(main.ctx(), k, vec_bytes, "x");
-  const vm::Vaddr y = lib::numa_alloc_local(main.ctx(), k, vec_bytes, "y");
-  lib::populate(main.ctx(), k, x, vec_bytes);
-  lib::populate(main.ctx(), k, y, vec_bytes);
+  lib::NumaBuffer x_buf = lib::NumaBuffer::local(main.ctx(), k, vec_bytes, "x");
+  lib::NumaBuffer y_buf = lib::NumaBuffer::local(main.ctx(), k, vec_bytes, "y");
+  x_buf.populate(main.ctx());
+  y_buf.populate(main.ctx());
   co_await main.sync();
+  const vm::Vaddr x = x_buf.addr();
+  const vm::Vaddr y = y_buf.addr();
 
   const auto cfg = cfg_;
   blas::BlasEngine* eng = &blas_;

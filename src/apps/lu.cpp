@@ -26,9 +26,10 @@ sim::Task<void> LuFactorization::run(rt::Thread& main) {
   const std::uint64_t bytes = cfg_.n * cfg_.n * blas::kElemBytes;
 
   // The paper's best static allocation: interleave over all nodes.
-  const vm::Vaddr base = lib::numa_alloc_interleaved(main.ctx(), k, bytes, "lu");
+  buf_ = lib::NumaBuffer::interleaved(main.ctx(), k, bytes, "lu");
+  const vm::Vaddr base = buf_.addr();
   mat_ = blas::Matrix{base, cfg_.n, cfg_.n, cfg_.n};
-  lib::populate(main.ctx(), k, base, bytes);
+  buf_.populate(main.ctx());
   co_await main.sync();
   if (cfg_.blas.numeric)
     blas::fill_matrix(m_, mat_, cfg_.fill != nullptr ? cfg_.fill : lu_fill);

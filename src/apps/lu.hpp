@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "blas/blas.hpp"
+#include "lib/numalib.hpp"
 #include "rt/team.hpp"
 
 namespace numasim::apps {
@@ -61,6 +62,7 @@ class LuFactorization {
   rt::Team& team_;
   LuConfig cfg_;
   blas::BlasEngine blas_;
+  lib::NumaBuffer buf_;  // owns the matrix storage
   blas::Matrix mat_;
   LuResult result_;
 };

@@ -1,6 +1,7 @@
 #include "apps/matmul_batch.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "lib/numalib.hpp"
 
@@ -18,9 +19,9 @@ sim::Task<void> MatmulBatch::run(rt::Thread& main) {
   // pages on the main thread's node.
   bufs_.clear();
   for (unsigned t = 0; t < team_.size(); ++t) {
-    const vm::Vaddr a = lib::numa_alloc_local(main.ctx(), k, arena, "gemm-arena");
-    lib::populate(main.ctx(), k, a, arena);
-    bufs_.push_back(a);
+    lib::NumaBuffer buf = lib::NumaBuffer::local(main.ctx(), k, arena, "gemm-arena");
+    buf.populate(main.ctx());
+    bufs_.push_back(std::move(buf));
   }
   co_await main.sync();
 
@@ -43,7 +44,7 @@ sim::Task<void> MatmulBatch::run(rt::Thread& main) {
   rt::Team::WorkerFn worker =
       [mode, n, reps, &bufs, eng, unt, mat_bytes, arena](
           unsigned tid, rt::Thread& th) -> sim::Task<void> {
-        const vm::Vaddr base = bufs[tid];
+        const vm::Vaddr base = bufs[tid].addr();
         if (mode == MatmulBatchConfig::Mode::kKernelNextTouch) {
           co_await th.madvise(base, arena, kern::Advice::kMigrateOnNextTouch);
         } else if (mode == MatmulBatchConfig::Mode::kUserNextTouch) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "blas/blas.hpp"
+#include "lib/numalib.hpp"
 #include "lib/user_next_touch.hpp"
 #include "rt/team.hpp"
 
@@ -46,7 +47,7 @@ class MatmulBatch {
   rt::Team& team_;
   MatmulBatchConfig cfg_;
   blas::BlasEngine blas_;
-  std::vector<vm::Vaddr> bufs_;  // one A|B|C arena per thread
+  std::vector<lib::NumaBuffer> bufs_;  // one A|B|C arena per thread
   MatmulBatchResult result_;
 };
 

@@ -35,4 +35,35 @@ inline constexpr int kENOSYS = 38;
 /// Per-page status codes reported by move_pages (positive = node id).
 inline constexpr int kStatusNotPresent = -kEFAULT;
 
+/// Typed syscall return value, unifying the historical int-vs-long mix.
+///
+/// The simulated syscalls keep the Linux ABI encoding — a single signed
+/// word that is either a non-negative success count or a negated E* code —
+/// but wrap it so call sites stop decoding the convention by hand:
+///
+///     auto r = k.sys_move_pages(t, pages, nodes, status);
+///     if (!r.ok()) return r.error();   // positive errno, e.g. kEINVAL
+///     use(r.count());                  // pages moved (0 for void-ish calls)
+///
+/// Conversions are implicit in both directions (raw long <-> SyscallResult)
+/// so the type threads through existing `== 0` / `== -kEINVAL` comparisons
+/// and raw-long code unchanged.
+class SyscallResult {
+ public:
+  constexpr SyscallResult(long raw = 0) : v_(raw) {}  // NOLINT: ABI adapter
+
+  /// True on success (raw value >= 0).
+  constexpr bool ok() const { return v_ >= 0; }
+  /// Positive errno on failure, 0 on success.
+  constexpr int error() const { return v_ < 0 ? static_cast<int>(-v_) : 0; }
+  /// Success count (pages moved, bytes, ...); 0 on failure.
+  constexpr long count() const { return v_ >= 0 ? v_ : 0; }
+
+  /// Raw Linux ABI value (negative errno or count).
+  constexpr operator long() const { return v_; }  // NOLINT: ABI adapter
+
+ private:
+  long v_;
+};
+
 }  // namespace numasim::kern

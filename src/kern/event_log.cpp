@@ -24,6 +24,42 @@ std::string_view event_type_name(EventType t) {
   return "?";
 }
 
+void EventLog::record(const obs::TraceEvent& e) {
+  if (e.kind != obs::TraceEvent::Kind::kInstant) return;
+  static constexpr EventType kAll[] = {
+      EventType::kMinorFault,        EventType::kNextTouchMark,
+      EventType::kNextTouchMigrate,  EventType::kMovePages,
+      EventType::kMigrateProcess,    EventType::kSigsegv,
+      EventType::kReplicaCreate,     EventType::kReplicaCollapse,
+      EventType::kMigrateRetry,      EventType::kMigrateFail,
+      EventType::kNextTouchDegraded, EventType::kShootdownRetry,
+      EventType::kSignalDelay,       EventType::kAllocStall,
+  };
+  for (EventType t : kAll) {
+    if (event_type_name(t) != e.name) continue;
+    Event ev;
+    ev.when = e.ts;
+    ev.tid = e.tid;
+    ev.type = t;
+    for (std::size_t i = 0; i < e.nargs; ++i) {
+      const obs::TraceArg& a = e.args[i];
+      if (a.key == "vpn") {
+        ev.vpn = static_cast<vm::Vpn>(a.value);
+      } else if (a.key == "pages") {
+        ev.pages = static_cast<std::uint64_t>(a.value);
+      } else if (a.key == "from") {
+        ev.from = a.value < 0 ? topo::kInvalidNode
+                              : static_cast<topo::NodeId>(a.value);
+      } else if (a.key == "to") {
+        ev.to = a.value < 0 ? topo::kInvalidNode
+                            : static_cast<topo::NodeId>(a.value);
+      }
+    }
+    record(ev);
+    return;
+  }
+}
+
 std::string EventLog::render(std::size_t limit) const {
   std::ostringstream os;
   const std::size_t n = events_.size();

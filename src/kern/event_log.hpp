@@ -4,12 +4,18 @@
 // migrations, markings and signals with their simulated timestamps. Tools
 // (examples, debugging sessions) render the trace as text or CSV — the
 // simulated analogue of ftrace's mm events.
+//
+// The log is one obs::TraceSink among others: it subscribes to the kernel's
+// tracepoint stream and keeps the instant events whose names match the
+// legacy mm event types, ignoring spans and app annotations. Attaching via
+// Kernel::add_trace_sink() is equivalent to set_event_log().
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 #include "topo/topology.hpp"
 #include "vm/page_table.hpp"
@@ -48,9 +54,13 @@ struct Event {
 };
 
 /// Bounded FIFO of events (oldest dropped when full).
-class EventLog {
+class EventLog : public obs::TraceSink {
  public:
   explicit EventLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// TraceSink: keep instants whose name is a known mm event type; spans and
+  /// unknown names (app annotations) pass through untouched.
+  void record(const obs::TraceEvent& e) override;
 
   void record(const Event& e) {
     if (events_.size() == capacity_) {

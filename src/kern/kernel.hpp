@@ -33,6 +33,8 @@
 #include "kern/hw_state.hpp"
 #include "kern/replication.hpp"
 #include "mem/phys.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "topo/topology.hpp"
 #include "vm/address_space.hpp"
@@ -115,6 +117,12 @@ class Kernel {
  public:
   Kernel(const topo::Topology& topo, mem::Backing backing,
          CostModel cost = {}, std::uint64_t max_frames_per_node = 0);
+  /// Detaches any metrics registry (retiring bound counters so an attached
+  /// registry keeps accumulating across kernel generations). Not movable:
+  /// the registry and sinks hold pointers into this object.
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
 
   const topo::Topology& topo() const { return topo_; }
   const CostModel& cost() const { return cost_; }
@@ -131,9 +139,40 @@ class Kernel {
   void set_replication_enabled(bool on) { replication_ = on; }
   bool replication_enabled() const { return replication_; }
 
-  /// Attach/detach an event trace (nullptr = off; not owned).
-  void set_event_log(EventLog* log) { elog_ = log; }
+  // --- observability ----------------------------------------------------------
+  /// Subscribe a tracepoint sink: every kernel tracepoint (instant events
+  /// and duration spans) fans out to each attached sink, stamped with the
+  /// emitting thread's simulated clock. Sinks are not owned. With no sinks
+  /// attached the tracepoints reduce to one empty-vector check — no
+  /// simulated cost, no randomness, byte-identical timing.
+  void add_trace_sink(obs::TraceSink* sink);
+  void remove_trace_sink(obs::TraceSink* sink);
+  bool tracing() const { return !sinks_.empty(); }
+
+  /// Legacy convenience: attach/detach an EventLog (nullptr = off; not
+  /// owned). The log is an obs::TraceSink; this manages its subscription.
+  void set_event_log(EventLog* log);
   EventLog* event_log() { return elog_; }
+
+  /// Attach/detach a metrics registry (nullptr = off; not owned). The
+  /// kernel binds every KernelStats field as a "kern.*" counter, per-node
+  /// used-frame gauges as "mem.used_frames.nodeN", and feeds latency
+  /// histograms: kern.fault_service_ns, kern.migrate_page_ns,
+  /// kern.lock_wait_ns, kern.shootdown_rounds. Detaching (or destroying the
+  /// kernel) retires the bound counters into the registry so totals survive
+  /// the kernel — which means an attached registry MUST outlive the kernel
+  /// (or be detached first). Recording is host-side only: simulated timing
+  /// is unaffected.
+  void set_metrics(obs::Registry* reg);
+  obs::Registry* metrics() { return metrics_; }
+
+  /// App-level tracepoints for the runtime and user code: an instant marker
+  /// or a duration span [begin, t.clock] in the calling thread's timeline.
+  /// No-ops (beyond one branch) when no sink is attached.
+  void emit_instant(const ThreadCtx& t, std::string_view name,
+                    std::string_view cat = "app");
+  void emit_span(const ThreadCtx& t, std::string_view name, sim::Time begin,
+                 std::string_view cat = "app");
 
   /// Attach/detach a fault injector (nullptr = off; not owned). Node caps in
   /// the injector's plan are applied to the frame allocator immediately;
@@ -158,20 +197,22 @@ class Kernel {
   int sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len);
   int sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len, vm::Prot prot,
                    sim::CostKind attribute = sim::CostKind::kMprotectMark);
-  int sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len, Advice advice);
+  SyscallResult sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                            Advice advice);
   /// mbind(2). With `move_existing` (MPOL_MF_MOVE), pages already present
   /// that violate the new policy are migrated to comply.
-  int sys_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
-                const vm::MemPolicy& policy, bool move_existing = false);
+  SyscallResult sys_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                          const vm::MemPolicy& policy, bool move_existing = false);
   int sys_set_mempolicy(ThreadCtx& t, const vm::MemPolicy& policy);
   int sys_get_mempolicy(ThreadCtx& t, vm::MemPolicy& out);
   int sys_getcpu(ThreadCtx& t, topo::CoreId* core, topo::NodeId* node);
 
   /// move_pages(2). `nodes` empty => query-only mode (status = current node).
-  /// Returns 0 or -errno; per-page results land in `status` (node id or
+  /// Returns ok() or error(); per-page results land in `status` (node id or
   /// negative errno per page).
-  long sys_move_pages(ThreadCtx& t, std::span<const vm::Vaddr> pages,
-                      std::span<const topo::NodeId> nodes, std::span<int> status);
+  SyscallResult sys_move_pages(ThreadCtx& t, std::span<const vm::Vaddr> pages,
+                               std::span<const topo::NodeId> nodes,
+                               std::span<int> status);
 
   /// migrate_pages(2): move every page of `target` on a node in `from` to the
   /// corresponding slot in `to`. Returns number of pages migrated or -errno.
@@ -190,8 +231,9 @@ class Kernel {
   /// overhead"): one call migrates whole ranges. The kernel walks pages
   /// sequentially (no per-page virtual-address lookup, no status array),
   /// so the per-page control cost drops and the base cost amortizes over
-  /// all ranges. Returns pages migrated or -errno.
-  long sys_move_pages_ranged(ThreadCtx& t, std::span<const MoveRange> ranges);
+  /// all ranges. Returns count() = pages migrated, or error().
+  SyscallResult sys_move_pages_ranged(ThreadCtx& t,
+                                      std::span<const MoveRange> ranges);
 
   // --- batched lower-level entry points (used by the runtime so concurrent
   // --- threads interleave at realistic lock granularity) ----------------------
@@ -243,6 +285,12 @@ class Kernel {
   /// faults pages in, charges the SSE copy rate, copies real bytes when
   /// materialized. (The Fig. 4 "memcpy" baseline.)
   int user_memcpy(ThreadCtx& t, vm::Vaddr dst, vm::Vaddr src, std::uint64_t len);
+
+  /// Timing-free teardown of a mapping — the process-exit path RAII handles
+  /// use from destructors, where no ThreadCtx exists to charge. Frees
+  /// frames and replicas and drops the VMAs without touching any clock,
+  /// stat, or tracepoint. Unmapped/partial ranges are fine (idempotent).
+  void teardown_unmap(Pid pid, vm::Vaddr addr, std::uint64_t len);
 
   // --- timing-free inspection (tests, verification harnesses) -------------------
   /// Node currently holding the page, or kInvalidNode if not present.
@@ -310,8 +358,12 @@ class Kernel {
 
   /// Page-fault entry point. Returns true if the access should be retried.
   /// When `copies` is non-null, migration copy traffic is deferred into it.
+  /// (Instrumented wrapper around do_handle_fault: "fault" span +
+  /// kern.fault_service_ns histogram.)
   bool handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr, vm::Prot want,
                     AccessResult& res, CopyBatch* copies);
+  bool do_handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr, vm::Prot want,
+                       AccessResult& res, CopyBatch* copies);
 
   /// For a read of a kReplica page: the node whose copy serves `reader`,
   /// creating the reader-local replica (charged) on first use.
@@ -369,10 +421,29 @@ class Kernel {
   /// old frame. Charges `control_kind`; the copy goes to `copies` if given,
   /// else is charged inline as `copy_kind`. On failure the original frame
   /// stays mapped.
+  /// (Instrumented wrapper around do_migrate_page: "migrate-page" span +
+  /// kern.migrate_page_ns histogram.)
   MigrateResult migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte, vm::Vpn vpn,
                              topo::NodeId target, sim::Time control_cost,
                              sim::CostKind control_kind, sim::CostKind copy_kind,
                              CopyBatch* copies);
+  MigrateResult do_migrate_page(ThreadCtx& t, Process& p, vm::Pte& pte,
+                                vm::Vpn vpn, topo::NodeId target,
+                                sim::Time control_cost, sim::CostKind control_kind,
+                                sim::CostKind copy_kind, CopyBatch* copies);
+
+  // Un-instrumented syscall bodies; the public entry points wrap them in a
+  // span so early returns don't escape the timing.
+  SyscallResult do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                           Advice advice);
+  SyscallResult do_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                         const vm::MemPolicy& policy, bool move_existing);
+  int do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len, vm::Prot prot,
+                  sim::CostKind attribute);
+  SyscallResult do_move_pages_ranged(ThreadCtx& t,
+                                     std::span<const MoveRange> ranges);
+  long do_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
+                        topo::NodeMask to);
 
   /// Serialize a batch of `pages` migrations on the process migration
   /// pipeline (the cross-thread critical sections): reserves
@@ -390,10 +461,24 @@ class Kernel {
     t.stats.add(kind, dur);
   }
 
+  /// mm tracepoint: an instant event named after the legacy EventType. The
+  /// hot-path cost with no sink attached is this one branch.
   void trace(const ThreadCtx& t, EventType type, vm::Vpn vpn, std::uint64_t pages,
              topo::NodeId from = topo::kInvalidNode,
              topo::NodeId to = topo::kInvalidNode) {
-    if (elog_ != nullptr) elog_->record({t.clock, t.tid, type, vpn, pages, from, to});
+    if (!sinks_.empty()) trace_slow(t, type, vpn, pages, from, to);
+  }
+  void trace_slow(const ThreadCtx& t, EventType type, vm::Vpn vpn,
+                  std::uint64_t pages, topo::NodeId from, topo::NodeId to);
+
+  /// Fan an event out to every sink.
+  void emit(const obs::TraceEvent& e) {
+    for (obs::TraceSink* s : sinks_) s->record(e);
+  }
+
+  /// Record a lock-wait sample into kern.lock_wait_ns (host-side only).
+  void note_lock_wait(sim::Time wait) {
+    if (h_lock_wait_ != nullptr && wait > 0) h_lock_wait_->record(wait);
   }
 
   /// Reserve the process page-table lock; charges wait as kLockWait and the
@@ -407,6 +492,13 @@ class Kernel {
   MovePagesImpl move_impl_ = MovePagesImpl::kLinear;
   bool replication_ = false;
   EventLog* elog_ = nullptr;
+  std::vector<obs::TraceSink*> sinks_;
+  obs::Registry* metrics_ = nullptr;
+  // Cached histogram slots of the attached registry (null = detached).
+  obs::Histogram* h_fault_ = nullptr;
+  obs::Histogram* h_migrate_page_ = nullptr;
+  obs::Histogram* h_lock_wait_ = nullptr;
+  obs::Histogram* h_shootdown_rounds_ = nullptr;
   FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Process>> procs_;
   KernelStats kstats_;

@@ -18,6 +18,111 @@ Kernel::Kernel(const topo::Topology& topo, mem::Backing backing, CostModel cost,
                std::uint64_t max_frames_per_node)
     : topo_(topo), cost_(cost), hw_(topo), phys_(topo, backing, max_frames_per_node) {}
 
+Kernel::~Kernel() { set_metrics(nullptr); }
+
+void Kernel::add_trace_sink(obs::TraceSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end())
+    sinks_.push_back(sink);
+}
+
+void Kernel::remove_trace_sink(obs::TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  if (sink == elog_) elog_ = nullptr;
+}
+
+void Kernel::set_event_log(EventLog* log) {
+  if (elog_ != nullptr && elog_ != log) remove_trace_sink(elog_);
+  elog_ = log;
+  add_trace_sink(log);
+}
+
+void Kernel::set_metrics(obs::Registry* reg) {
+  if (metrics_ != nullptr && metrics_ != reg) {
+    // Fold our bound KernelStats values into the registry's own counters so
+    // the totals survive this kernel; drop the gauges (they capture `this`).
+    metrics_->retire("kern.");
+    metrics_->retire("mem.");
+  }
+  metrics_ = reg;
+  h_fault_ = h_migrate_page_ = h_lock_wait_ = h_shootdown_rounds_ = nullptr;
+  if (reg == nullptr) return;
+
+  reg->bind_counter("kern.minor_faults", &kstats_.minor_faults);
+  reg->bind_counter("kern.protection_faults", &kstats_.protection_faults);
+  reg->bind_counter("kern.nexttouch_faults", &kstats_.nexttouch_faults);
+  reg->bind_counter("kern.pages_migrated_move", &kstats_.pages_migrated_move);
+  reg->bind_counter("kern.pages_migrated_process", &kstats_.pages_migrated_process);
+  reg->bind_counter("kern.pages_migrated_nexttouch",
+                    &kstats_.pages_migrated_nexttouch);
+  reg->bind_counter("kern.tlb_shootdowns", &kstats_.tlb_shootdowns);
+  reg->bind_counter("kern.signals_delivered", &kstats_.signals_delivered);
+  reg->bind_counter("kern.replica_pages", &kstats_.replica_pages);
+  reg->bind_counter("kern.replica_collapses", &kstats_.replica_collapses);
+  reg->bind_counter("kern.migrations_failed", &kstats_.migrations_failed);
+  reg->bind_counter("kern.migration_retries", &kstats_.migration_retries);
+  reg->bind_counter("kern.nexttouch_degraded", &kstats_.nexttouch_degraded);
+  reg->bind_counter("kern.shootdown_retries", &kstats_.shootdown_retries);
+  reg->bind_counter("kern.signals_delayed", &kstats_.signals_delayed);
+  reg->bind_counter("kern.alloc_stalls", &kstats_.alloc_stalls);
+
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    reg->bind_gauge("mem.used_frames.node" + std::to_string(n), [this, n] {
+      return static_cast<std::int64_t>(phys_.used_frames(n));
+    });
+  }
+
+  h_fault_ = &reg->histogram("kern.fault_service_ns");
+  h_migrate_page_ = &reg->histogram("kern.migrate_page_ns");
+  h_lock_wait_ = &reg->histogram("kern.lock_wait_ns");
+  h_shootdown_rounds_ = &reg->histogram("kern.shootdown_rounds");
+}
+
+void Kernel::trace_slow(const ThreadCtx& t, EventType type, vm::Vpn vpn,
+                        std::uint64_t pages, topo::NodeId from, topo::NodeId to) {
+  obs::TraceEvent e;
+  e.kind = obs::TraceEvent::Kind::kInstant;
+  e.ts = t.clock;
+  e.pid = t.pid;
+  e.tid = t.tid;
+  e.cat = "kern";
+  e.name = event_type_name(type);
+  e.add_arg("vpn", static_cast<std::int64_t>(vpn))
+      .add_arg("pages", static_cast<std::int64_t>(pages))
+      .add_arg("from",
+               from == topo::kInvalidNode ? -1 : static_cast<std::int64_t>(from))
+      .add_arg("to",
+               to == topo::kInvalidNode ? -1 : static_cast<std::int64_t>(to));
+  emit(e);
+}
+
+void Kernel::emit_instant(const ThreadCtx& t, std::string_view name,
+                          std::string_view cat) {
+  if (sinks_.empty()) return;
+  obs::TraceEvent e;
+  e.kind = obs::TraceEvent::Kind::kInstant;
+  e.ts = t.clock;
+  e.pid = t.pid;
+  e.tid = t.tid;
+  e.cat = cat;
+  e.name = name;
+  emit(e);
+}
+
+void Kernel::emit_span(const ThreadCtx& t, std::string_view name, sim::Time begin,
+                       std::string_view cat) {
+  if (sinks_.empty()) return;
+  obs::TraceEvent e;
+  e.kind = obs::TraceEvent::Kind::kSpan;
+  e.ts = begin;
+  e.dur = t.clock >= begin ? t.clock - begin : 0;
+  e.pid = t.pid;
+  e.tid = t.tid;
+  e.cat = cat;
+  e.name = name;
+  emit(e);
+}
+
 Pid Kernel::create_process(std::string name) {
   auto p = std::make_unique<Process>();
   p->pid = static_cast<Pid>(procs_.size());
@@ -104,12 +209,15 @@ mem::FrameId Kernel::alloc_user_frame(ThreadCtx& t, vm::Vpn vpn,
 
 sim::Time Kernel::shootdown_cost(const ThreadCtx& t) {
   sim::Time c = cost_.tlb_shootdown(topo_.num_cores());
+  std::uint64_t rounds = 1;
   if (injector_ != nullptr && injector_->drop_shootdown()) {
     // One IPI was lost: wait out the acknowledgement timeout, re-broadcast.
     c += cost_.tlb_shootdown_resend_wait + cost_.tlb_shootdown(topo_.num_cores());
     ++kstats_.shootdown_retries;
+    ++rounds;
     trace(t, EventType::kShootdownRetry, 0, 1);
   }
+  if (h_shootdown_rounds_ != nullptr) h_shootdown_rounds_->record(rounds);
   return c;
 }
 
@@ -122,6 +230,7 @@ void Kernel::with_pt_lock(ThreadCtx& t, Process& p, sim::Time hold,
   const sim::Slot slot = p.pt_lock.reserve(t.clock, hold, t.core, cost_.lock_bounce);
   const sim::Time wait = slot.start - t.clock;
   if (wait > 0) t.stats.add(sim::CostKind::kLockWait, wait);
+  note_lock_wait(wait);
   t.stats.add(kind, slot.finish - slot.start);
   t.clock = slot.finish;
 }
@@ -160,6 +269,7 @@ void Kernel::serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
   const sim::Slot slot = p.migration_pipeline.reserve(entry, pages * per_page);
   if (slot.finish > t.clock) {
     t.stats.add(sim::CostKind::kLockWait, slot.finish - t.clock);
+    note_lock_wait(slot.finish - t.clock);
     t.clock = slot.finish;
   }
 }
@@ -180,6 +290,39 @@ Kernel::MigrateResult Kernel::migrate_page(ThreadCtx& t, Process& p, vm::Pte& pt
                                            sim::CostKind control_kind,
                                            sim::CostKind copy_kind,
                                            CopyBatch* copies) {
+  const sim::Time begin = t.clock;
+  const topo::NodeId from = phys_.node_of(pte.frame);
+  const MigrateResult r = do_migrate_page(t, p, pte, vpn, target, control_cost,
+                                          control_kind, copy_kind, copies);
+  // Per-page pipeline latency. Batched callers defer the copy into `copies`,
+  // so their samples cover the control path only (the copy is attributed to
+  // the batch flush); inline callers include it.
+  if (h_migrate_page_ != nullptr) h_migrate_page_->record(t.clock - begin);
+  if (!sinks_.empty()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kSpan;
+    e.ts = begin;
+    e.dur = t.clock - begin;
+    e.pid = t.pid;
+    e.tid = t.tid;
+    e.cat = "kern";
+    e.name = "migrate-page";
+    e.add_arg("vpn", static_cast<std::int64_t>(vpn))
+        .add_arg("from", static_cast<std::int64_t>(from))
+        .add_arg("to", static_cast<std::int64_t>(target))
+        .add_arg("ok", r == MigrateResult::kOk ? 1 : 0);
+    emit(e);
+  }
+  return r;
+}
+
+Kernel::MigrateResult Kernel::do_migrate_page(ThreadCtx& t, Process& p,
+                                              vm::Pte& pte, vm::Vpn vpn,
+                                              topo::NodeId target,
+                                              sim::Time control_cost,
+                                              sim::CostKind control_kind,
+                                              sim::CostKind copy_kind,
+                                              CopyBatch* copies) {
   (void)p;
   const mem::FrameId old_frame = pte.frame;
   const topo::NodeId from = phys_.node_of(old_frame);
@@ -337,13 +480,35 @@ void Kernel::deliver_sigsegv(ThreadCtx& t, Process& p, const SigInfo& info,
   ++res.sigsegv_delivered;
   trace(t, EventType::kSigsegv, vm::vpn_of(info.fault_addr), 1);
   ++t.signal_depth;
+  const sim::Time handler_begin = t.clock;
   p.segv(t, info);
   --t.signal_depth;
+  emit_span(t, "sigsegv-handler", handler_begin, "kern");
   charge(t, cost_.sigreturn, sim::CostKind::kSignalDelivery);
 }
 
 bool Kernel::handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr, vm::Prot want,
                           AccessResult& res, CopyBatch* copies) {
+  const sim::Time begin = t.clock;
+  const bool retry = do_handle_fault(t, p, addr, want, res, copies);
+  if (h_fault_ != nullptr) h_fault_->record(t.clock - begin);
+  if (!sinks_.empty()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kSpan;
+    e.ts = begin;
+    e.dur = t.clock - begin;
+    e.pid = t.pid;
+    e.tid = t.tid;
+    e.cat = "kern";
+    e.name = "fault";
+    e.add_arg("vpn", static_cast<std::int64_t>(vm::vpn_of(addr)));
+    emit(e);
+  }
+  return retry;
+}
+
+bool Kernel::do_handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr,
+                             vm::Prot want, AccessResult& res, CopyBatch* copies) {
   charge(t, cost_.pagefault_entry, sim::CostKind::kPageFault);
 
   vm::Vma* vma = p.as.find(addr);
@@ -612,6 +777,20 @@ int Kernel::user_memcpy(ThreadCtx& t, vm::Vaddr dst, vm::Vaddr src,
     if (!poke(t.pid, dst, tmp)) return -kEFAULT;
   }
   return 0;
+}
+
+void Kernel::teardown_unmap(Pid pid, vm::Vaddr addr, std::uint64_t len) {
+  if (len == 0) return;
+  Process& p = proc(pid);
+  const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
+  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
+    vm::Pte* pte = p.as.page_table().find(vpn);
+    if (pte != nullptr && pte->present()) {
+      for (mem::FrameId f : p.replicas.take(vpn)) phys_.free(f);
+      phys_.free(pte->frame);
+    }
+  }
+  p.as.unmap(addr, len);
 }
 
 topo::NodeId Kernel::page_node(Pid pid, vm::Vaddr addr) const {

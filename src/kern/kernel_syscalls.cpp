@@ -45,6 +45,14 @@ int Kernel::sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len) {
 
 int Kernel::sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
                          vm::Prot prot, sim::CostKind attribute) {
+  const sim::Time begin = t.clock;
+  const int r = do_mprotect(t, addr, len, prot, attribute);
+  emit_span(t, "sys_mprotect", begin, "kern");
+  return r;
+}
+
+int Kernel::do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                        vm::Prot prot, sim::CostKind attribute) {
   Process& p = proc(t.pid);
   if (len == 0) return -kEINVAL;
   if (!p.as.range_mapped(addr, len)) return -kENOMEM;
@@ -73,15 +81,26 @@ int Kernel::sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   const sim::Time work = cost_.mprotect_base + cost_.mprotect_page * present +
                          shootdown_cost(t);
   const sim::Slot slot = p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
-  if (slot.start > t.clock) t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+  if (slot.start > t.clock) {
+    t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+    note_lock_wait(slot.start - t.clock);
+  }
   t.stats.add(attribute, slot.finish - slot.start);
   t.clock = slot.finish;
   ++kstats_.tlb_shootdowns;
   return 0;
 }
 
-int Kernel::sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
-                        Advice advice) {
+SyscallResult Kernel::sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                                  Advice advice) {
+  const sim::Time begin = t.clock;
+  const SyscallResult r = do_madvise(t, addr, len, advice);
+  emit_span(t, "sys_madvise", begin, "kern");
+  return r;
+}
+
+SyscallResult Kernel::do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                                 Advice advice) {
   Process& p = proc(t.pid);
   if (len == 0) return -kEINVAL;
   if (!p.as.range_mapped(addr, len)) return -kENOMEM;
@@ -162,8 +181,10 @@ int Kernel::sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
                              shootdown_cost(t);
       const sim::Slot slot =
           p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
-      if (slot.start > t.clock)
+      if (slot.start > t.clock) {
         t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+        note_lock_wait(slot.start - t.clock);
+      }
       t.stats.add(sim::CostKind::kMadvise, slot.finish - slot.start);
       t.clock = slot.finish;
       ++kstats_.tlb_shootdowns;
@@ -173,8 +194,16 @@ int Kernel::sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   return -kEINVAL;
 }
 
-int Kernel::sys_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
-                      const vm::MemPolicy& policy, bool move_existing) {
+SyscallResult Kernel::sys_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                                const vm::MemPolicy& policy, bool move_existing) {
+  const sim::Time begin = t.clock;
+  const SyscallResult r = do_mbind(t, addr, len, policy, move_existing);
+  emit_span(t, "sys_mbind", begin, "kern");
+  return r;
+}
+
+SyscallResult Kernel::do_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                               const vm::MemPolicy& policy, bool move_existing) {
   Process& p = proc(t.pid);
   if (len == 0) return -kEINVAL;
   if (!p.as.range_mapped(addr, len)) return -kENOMEM;
@@ -240,7 +269,10 @@ void Kernel::move_pages_enter(ThreadCtx& t, std::size_t total_pages) {
          sim::CostKind::kMovePagesControl);
   const sim::Slot slot = p.mmap_lock.reserve(t.clock, cost_.move_pages_base_locked,
                                              t.core, cost_.lock_bounce);
-  if (slot.start > t.clock) t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+  if (slot.start > t.clock) {
+    t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+    note_lock_wait(slot.start - t.clock);
+  }
   t.stats.add(sim::CostKind::kMovePagesControl, slot.finish - slot.start);
   t.clock = slot.finish;
 }
@@ -380,13 +412,27 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
     trace(t, EventType::kMovePages, vm::vpn_of(chunk[moves.front().i]), moves.size(),
           moves.front().from, moves.front().to);
   serialize_migration(t, p, entry, moves.size(), cost_.move_pages_serial_per_page);
+  if (!sinks_.empty()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kSpan;
+    e.ts = entry;
+    e.dur = t.clock - entry;
+    e.pid = t.pid;
+    e.tid = t.tid;
+    e.cat = "kern";
+    e.name = "move_pages_chunk";
+    e.add_arg("pages", static_cast<std::int64_t>(chunk.size()))
+        .add_arg("moves", static_cast<std::int64_t>(moves.size()));
+    emit(e);
+  }
 }
 
-long Kernel::sys_move_pages(ThreadCtx& t, std::span<const vm::Vaddr> pages,
-                            std::span<const topo::NodeId> nodes,
-                            std::span<int> status) {
+SyscallResult Kernel::sys_move_pages(ThreadCtx& t, std::span<const vm::Vaddr> pages,
+                                     std::span<const topo::NodeId> nodes,
+                                     std::span<int> status) {
   if (!nodes.empty() && nodes.size() != pages.size()) return -kEINVAL;
   if (status.size() != pages.size()) return -kEINVAL;
+  const sim::Time begin = t.clock;
   move_pages_enter(t, pages.size());
   for (std::size_t off = 0; off < pages.size(); off += kSyscallBatchPages) {
     const std::size_t n = std::min(kSyscallBatchPages, pages.size() - off);
@@ -394,18 +440,29 @@ long Kernel::sys_move_pages(ThreadCtx& t, std::span<const vm::Vaddr> pages,
                      nodes.empty() ? nodes : nodes.subspan(off, n),
                      status.subspan(off, n), pages.size());
   }
+  emit_span(t, "sys_move_pages", begin, "kern");
   return 0;
 }
 
-long Kernel::sys_move_pages_ranged(ThreadCtx& t,
-                                   std::span<const MoveRange> ranges) {
+SyscallResult Kernel::sys_move_pages_ranged(ThreadCtx& t,
+                                            std::span<const MoveRange> ranges) {
+  const sim::Time begin = t.clock;
+  const SyscallResult r = do_move_pages_ranged(t, ranges);
+  emit_span(t, "sys_move_pages_ranged", begin, "kern");
+  return r;
+}
+
+SyscallResult Kernel::do_move_pages_ranged(ThreadCtx& t,
+                                           std::span<const MoveRange> ranges) {
   Process& p = proc(t.pid);
   charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
   // One (cheaper) base: argument copy-in is O(ranges), not O(pages).
   const sim::Slot base = p.mmap_lock.reserve(
       t.clock, cost_.move_pages_range_base, t.core, cost_.lock_bounce);
-  if (base.start > t.clock)
+  if (base.start > t.clock) {
     t.stats.add(sim::CostKind::kLockWait, base.start - t.clock);
+    note_lock_wait(base.start - t.clock);
+  }
   t.stats.add(sim::CostKind::kMovePagesControl, base.finish - base.start);
   t.clock = base.finish;
 
@@ -438,7 +495,7 @@ long Kernel::sys_move_pages_ranged(ThreadCtx& t,
     serialize_migration(t, p, entry, batch_moved,
                         cost_.move_pages_serial_per_page);
     moved += static_cast<long>(batch_moved);
-    if (elog_ != nullptr && batch_moved > 0)
+    if (tracing() && batch_moved > 0)
       trace(t, EventType::kMovePages, vm::vpn_of(r.addr), batch_moved,
             topo::kInvalidNode, r.node);
   }
@@ -447,6 +504,14 @@ long Kernel::sys_move_pages_ranged(ThreadCtx& t,
 
 long Kernel::sys_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
                                topo::NodeMask to) {
+  const sim::Time begin = t.clock;
+  const long r = do_migrate_pages(t, target, from, to);
+  emit_span(t, "sys_migrate_pages", begin, "kern");
+  return r;
+}
+
+long Kernel::do_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
+                              topo::NodeMask to) {
   if (target >= procs_.size()) return -kESRCH;
   if (from == 0 || to == 0) return -kEINVAL;
   Process& p = proc(target);

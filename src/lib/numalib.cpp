@@ -4,23 +4,73 @@
 
 namespace numasim::lib {
 
+NumaBuffer NumaBuffer::on_node(kern::ThreadCtx& t, kern::Kernel& k,
+                               std::uint64_t size, topo::NodeId node,
+                               std::string name) {
+  const vm::MemPolicy pol = vm::MemPolicy::bind(topo::node_mask_of(node));
+  const vm::Vaddr a =
+      k.sys_mmap(t, size, vm::Prot::kReadWrite, pol, std::move(name));
+  return NumaBuffer{k, t.pid, a, size, pol, node};
+}
+
+NumaBuffer NumaBuffer::interleaved(kern::ThreadCtx& t, kern::Kernel& k,
+                                   std::uint64_t size, std::string name) {
+  const vm::MemPolicy pol = vm::MemPolicy::interleave(k.topo().all_nodes_mask());
+  const vm::Vaddr a =
+      k.sys_mmap(t, size, vm::Prot::kReadWrite, pol, std::move(name));
+  return NumaBuffer{k, t.pid, a, size, pol, topo::kInvalidNode};
+}
+
+NumaBuffer NumaBuffer::local(kern::ThreadCtx& t, kern::Kernel& k,
+                             std::uint64_t size, std::string name) {
+  const vm::MemPolicy pol = vm::MemPolicy::first_touch();
+  const vm::Vaddr a =
+      k.sys_mmap(t, size, vm::Prot::kReadWrite, pol, std::move(name));
+  return NumaBuffer{k, t.pid, a, size, pol, topo::kInvalidNode};
+}
+
+void NumaBuffer::populate(kern::ThreadCtx& t) {
+  kernel_->access(t, addr_, size_, vm::Prot::kReadWrite,
+                  kernel_->cost().zero_rate_bytes_per_us);
+}
+
+kern::SyscallResult NumaBuffer::lazy_migrate(kern::ThreadCtx& t) {
+  return kernel_->sys_madvise(t, addr_, size_,
+                              kern::Advice::kMigrateOnNextTouch);
+}
+
+kern::SyscallResult NumaBuffer::sync_migrate(kern::ThreadCtx& t,
+                                             topo::NodeId node) {
+  return lib::sync_migrate(t, *kernel_, addr_, size_, node);
+}
+
+std::uint64_t NumaBuffer::pages_on(topo::NodeId node) const {
+  if (kernel_ == nullptr || addr_ == 0) return 0;
+  return kernel_->pages_on_node(pid_, addr_, size_, node);
+}
+
+kern::SyscallResult NumaBuffer::free(kern::ThreadCtx& t) {
+  if (kernel_ == nullptr || addr_ == 0) return 0;
+  const kern::SyscallResult r = kernel_->sys_munmap(t, addr_, size_);
+  kernel_ = nullptr;
+  addr_ = 0;
+  size_ = 0;
+  return r;
+}
+
 vm::Vaddr numa_alloc_onnode(kern::ThreadCtx& t, kern::Kernel& k, std::uint64_t size,
                             topo::NodeId node, std::string name) {
-  return k.sys_mmap(t, size, vm::Prot::kReadWrite,
-                    vm::MemPolicy::bind(topo::node_mask_of(node)), std::move(name));
+  return NumaBuffer::on_node(t, k, size, node, std::move(name)).release();
 }
 
 vm::Vaddr numa_alloc_interleaved(kern::ThreadCtx& t, kern::Kernel& k,
                                  std::uint64_t size, std::string name) {
-  return k.sys_mmap(t, size, vm::Prot::kReadWrite,
-                    vm::MemPolicy::interleave(k.topo().all_nodes_mask()),
-                    std::move(name));
+  return NumaBuffer::interleaved(t, k, size, std::move(name)).release();
 }
 
 vm::Vaddr numa_alloc_local(kern::ThreadCtx& t, kern::Kernel& k, std::uint64_t size,
                            std::string name) {
-  return k.sys_mmap(t, size, vm::Prot::kReadWrite, vm::MemPolicy::first_touch(),
-                    std::move(name));
+  return NumaBuffer::local(t, k, size, std::move(name)).release();
 }
 
 void numa_free(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
@@ -33,13 +83,14 @@ void populate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
   k.access(t, addr, size, vm::Prot::kReadWrite, k.cost().zero_rate_bytes_per_us);
 }
 
-int lazy_migrate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
-                 std::uint64_t len) {
+kern::SyscallResult lazy_migrate(kern::ThreadCtx& t, kern::Kernel& k,
+                                 vm::Vaddr addr, std::uint64_t len) {
   return k.sys_madvise(t, addr, len, kern::Advice::kMigrateOnNextTouch);
 }
 
-long sync_migrate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
-                  std::uint64_t len, topo::NodeId node) {
+kern::SyscallResult sync_migrate(kern::ThreadCtx& t, kern::Kernel& k,
+                                 vm::Vaddr addr, std::uint64_t len,
+                                 topo::NodeId node) {
   if (len == 0) return 0;
   const vm::Vpn first = vm::vpn_of(addr);
   const vm::Vpn last = vm::vpn_of(addr + len - 1) + 1;
@@ -48,8 +99,8 @@ long sync_migrate(kern::ThreadCtx& t, kern::Kernel& k, vm::Vaddr addr,
   for (vm::Vpn vpn = first; vpn < last; ++vpn) pages.push_back(vm::addr_of(vpn));
   std::vector<topo::NodeId> nodes(pages.size(), node);
   std::vector<int> status(pages.size(), 0);
-  const long r = k.sys_move_pages(t, pages, nodes, status);
-  if (r < 0) return r;
+  const kern::SyscallResult r = k.sys_move_pages(t, pages, nodes, status);
+  if (!r.ok()) return r;
   long ok = 0;
   for (int s : status)
     if (s == static_cast<int>(node)) ++ok;

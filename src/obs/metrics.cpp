@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace numasim::obs {
+
+namespace {
+
+std::uint64_t quantile_impl(const std::array<std::uint64_t, kHistBuckets>& buckets,
+                            std::uint64_t count, std::uint64_t max, double q) {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample, 1-based, rounded up (q=0.5 over 10 samples
+  // selects the 5th).
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Clamp the bucket upper bound by the observed max so q=1.0 never
+      // reports past the largest recorded sample.
+      return std::min(Histogram::bucket_hi(b), max);
+    }
+  }
+  return max;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+std::uint64_t Histogram::quantile(double q) const {
+  return quantile_impl(buckets_, count_, max_, q);
+}
+
+std::uint64_t HistogramSnap::quantile(double q) const {
+  return quantile_impl(buckets, count, max, q);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+void Registry::bind_counter(std::string_view name, const std::uint64_t* source) {
+  bound_counters_.insert_or_assign(std::string(name), source);
+}
+
+void Registry::bind_gauge(std::string_view name, std::function<std::int64_t()> fn) {
+  bound_gauges_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+void Registry::retire(std::string_view prefix) {
+  for (auto it = bound_counters_.begin(); it != bound_counters_.end();) {
+    if (starts_with(it->first, prefix)) {
+      counter(it->first).inc(*it->second);
+      it = bound_counters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = bound_gauges_.begin(); it != bound_gauges_.end();) {
+    if (starts_with(it->first, prefix)) {
+      it = bound_gauges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+  // A name can exist both owned (retired remainder from a dead kernel) and
+  // bound (live kernel): the snapshot reports the sum, so totals accumulate
+  // seamlessly across kernel generations.
+  for (const auto& [name, src] : bound_counters_) s.counters[name] += *src;
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
+  for (const auto& [name, fn] : bound_gauges_) s.gauges[name] = fn();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnap hs;
+    hs.count = h.count();
+    hs.sum = h.sum();
+    hs.min = h.min();
+    hs.max = h.max();
+    for (std::size_t b = 0; b < kHistBuckets; ++b) hs.buckets[b] = h.bucket(b);
+    s.histograms[name] = hs;
+  }
+  return s;
+}
+
+Snapshot Snapshot::delta_since(const Snapshot& earlier) const {
+  Snapshot d;
+  d.when = when;
+  for (const auto& [name, v] : counters) {
+    std::uint64_t base = 0;
+    if (auto it = earlier.counters.find(name); it != earlier.counters.end()) {
+      base = it->second;
+    }
+    d.counters[name] = v >= base ? v - base : 0;
+  }
+  d.gauges = gauges;  // levels: report the later value
+  for (const auto& [name, h] : histograms) {
+    HistogramSnap dh = h;
+    if (auto it = earlier.histograms.find(name); it != earlier.histograms.end()) {
+      const HistogramSnap& base = it->second;
+      dh.count = h.count >= base.count ? h.count - base.count : 0;
+      dh.sum = h.sum >= base.sum ? h.sum - base.sum : 0;
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        dh.buckets[b] =
+            h.buckets[b] >= base.buckets[b] ? h.buckets[b] - base.buckets[b] : 0;
+      }
+      // min/max are not subtractable; keep the later window's observation.
+    }
+    d.histograms[name] = dh;
+  }
+  return d;
+}
+
+std::string Snapshot::render() const {
+  std::ostringstream os;
+  os << "-- counters --\n";
+  for (const auto& [name, v] : counters) {
+    if (v != 0) os << "  " << name << " = " << v << "\n";
+  }
+  if (!gauges.empty()) {
+    os << "-- gauges --\n";
+    for (const auto& [name, v] : gauges) {
+      os << "  " << name << " = " << v << "\n";
+    }
+  }
+  for (const auto& [name, h] : histograms) {
+    if (h.count == 0) continue;
+    os << "-- histogram " << name << " --\n";
+    os << "  count=" << h.count << " sum=" << h.sum << " min=" << h.min
+       << " max=" << h.max << " mean=" << h.mean()
+       << " p50<=" << h.quantile(0.5) << " p99<=" << h.quantile(0.99) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace numasim::obs

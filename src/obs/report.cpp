@@ -1,0 +1,41 @@
+#include "obs/report.hpp"
+
+#include <sstream>
+
+namespace numasim::obs {
+
+int PeriodicReporter::poll(sim::Time now) {
+  if (!armed_) {
+    armed_ = true;
+    next_due_ = now + interval_;
+    last_ = reg_.snapshot();
+    last_.when = now;
+    return 0;
+  }
+  if (now < next_due_) return 0;
+  emit(now);
+  // Re-arm relative to `now`, not next_due_: a long idle gap yields one
+  // catch-up report, not a burst.
+  next_due_ = now + interval_;
+  return 1;
+}
+
+void PeriodicReporter::final_report(sim::Time now) {
+  emit(now);
+  next_due_ = now + interval_;
+}
+
+void PeriodicReporter::emit(sim::Time now) {
+  Snapshot cur = reg_.snapshot();
+  cur.when = now;
+  Snapshot d = cur.delta_since(last_);
+  std::ostringstream os;
+  os << "== numastat @" << now << "ns (window " << (now - last_.when)
+     << "ns) ==\n"
+     << d.render();
+  out_(os.str());
+  last_ = std::move(cur);
+  ++reports_;
+}
+
+}  // namespace numasim::obs

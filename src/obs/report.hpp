@@ -1,0 +1,52 @@
+// numastat-style periodic reporter driven off *simulated* time.
+//
+// The reporter is a TraceSink so it can piggyback on the kernel's tracepoint
+// stream for a notion of "now" without its own clock plumbing: every recorded
+// event's timestamp advances the reporting window, and whenever a full
+// interval elapses the reporter emits a delta snapshot of its registry
+// through a caller-supplied output callback. Callers that don't attach it as
+// a sink can drive it manually with `poll(now)`.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace numasim::obs {
+
+class PeriodicReporter final : public TraceSink {
+ public:
+  using Output = std::function<void(const std::string&)>;
+
+  /// Reports deltas of `reg` every `interval` simulated ns through `out`.
+  PeriodicReporter(const Registry& reg, sim::Time interval, Output out)
+      : reg_(reg), interval_(interval), out_(std::move(out)),
+        last_(reg.snapshot()) {}
+
+  /// Emit a report if at least one interval has elapsed since the last one.
+  /// Returns the number of reports emitted (catches up over idle gaps in a
+  /// single report rather than flooding).
+  int poll(sim::Time now);
+
+  /// Unconditional final report covering the tail window.
+  void final_report(sim::Time now);
+
+  void record(const TraceEvent& e) override { poll(e.ts); }
+
+  std::uint64_t reports() const { return reports_; }
+
+ private:
+  void emit(sim::Time now);
+
+  const Registry& reg_;
+  sim::Time interval_;
+  Output out_;
+  Snapshot last_;
+  sim::Time next_due_ = 0;  // 0 = not started; first event arms the timer
+  bool armed_ = false;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace numasim::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace numasim::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Simulated ns -> trace-format µs, keeping ns precision in the fraction.
+void append_us(std::string& out, sim::Time ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::record(const TraceEvent& e) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  Stored s;
+  s.kind = e.kind;
+  s.ts = e.ts;
+  s.dur = e.dur;
+  s.pid = e.pid;
+  s.tid = e.tid;
+  s.cat = std::string(e.cat);
+  s.name = std::string(e.name);
+  s.args.reserve(e.nargs);
+  for (std::size_t i = 0; i < e.nargs; ++i) {
+    s.args.emplace_back(std::string(e.args[i].key), e.args[i].value);
+  }
+  events_.push_back(std::move(s));
+}
+
+std::string ChromeTraceWriter::to_json() const {
+  std::string out;
+  out.reserve(events_.size() * 128 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const Stored& s : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, s.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, s.cat);
+    out += "\",\"ph\":\"";
+    out += (s.kind == TraceEvent::Kind::kSpan) ? 'X' : 'i';
+    out += "\",\"ts\":";
+    append_us(out, s.ts);
+    if (s.kind == TraceEvent::Kind::kSpan) {
+      out += ",\"dur\":";
+      append_us(out, s.dur);
+    } else {
+      // Instant scope: thread-local arrow in the viewer.
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"pid\":";
+    out += std::to_string(s.pid);
+    out += ",\"tid\":";
+    out += std::to_string(s.tid);
+    if (!s.args.empty()) {
+      out += ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [key, value] : s.args) {
+        if (!afirst) out += ',';
+        afirst = false;
+        out += '"';
+        append_escaped(out, key);
+        out += "\":";
+        out += std::to_string(value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool ChromeTraceWriter::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string json = to_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace numasim::obs

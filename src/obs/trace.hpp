@@ -1,0 +1,120 @@
+// Tracepoint layer: a pluggable sink interface behind the kernel's
+// tracepoints.
+//
+// The kernel (and the runtime, via Kernel::emit_*) produces `TraceEvent`s —
+// either instants ("a minor fault was serviced at t") or spans ("this
+// madvise call ran from t to t+dur on thread 3"). Sinks subscribe via
+// `Kernel::add_trace_sink()`. Two sinks ship here:
+//
+//   * `ChromeTraceWriter` serializes events to the Chrome trace-event JSON
+//     format (load the file in chrome://tracing or https://ui.perfetto.dev);
+//     each simulated thread becomes a timeline row, spans become slices.
+//   * `kern::EventLog` (in kern/) adapts instants back into the legacy
+//     bounded event deque, preserving its render()/to_csv() surface.
+//
+// Event names and arg keys are `string_view`s into string literals at every
+// kernel/runtime call site, so building an event allocates nothing; sinks
+// that outlive the call (like ChromeTraceWriter) copy what they keep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace numasim::obs {
+
+/// One key/value annotation on a trace event (node ids, page counts, ...).
+/// Values are signed so "no node" can be encoded as -1.
+struct TraceArg {
+  std::string_view key;
+  std::int64_t value = 0;
+};
+
+inline constexpr std::size_t kMaxTraceArgs = 6;
+
+/// A single tracepoint firing. Plain value type, cheap to build on the stack.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kInstant,  ///< point event (ts only)
+    kSpan,     ///< duration slice [ts, ts+dur]
+  };
+
+  Kind kind = Kind::kInstant;
+  sim::Time ts = 0;   ///< simulated start time (ns)
+  sim::Time dur = 0;  ///< span length (ns); 0 for instants
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::string_view cat = "kern";  ///< "kern", "app", ...
+  std::string_view name;          ///< e.g. "minor-fault", "move_pages"
+  TraceArg args[kMaxTraceArgs];
+  std::size_t nargs = 0;
+
+  TraceEvent& add_arg(std::string_view key, std::int64_t value) {
+    if (nargs < kMaxTraceArgs) args[nargs++] = TraceArg{key, value};
+    return *this;
+  }
+};
+
+/// Receives every tracepoint firing. Implementations must not assume call
+/// order beyond "ts is the emitting thread's clock" — different simulated
+/// threads interleave.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& e) = 0;
+};
+
+/// Swallows everything; useful in tests as the cheapest possible sink.
+class NullSink final : public TraceSink {
+ public:
+  void record(const TraceEvent&) override {}
+};
+
+/// Buffers events and serializes them as Chrome trace-event JSON
+/// ("JSON Object Format": {"traceEvents":[...], "displayTimeUnit":"ns"}).
+/// Timestamps are emitted in microseconds (the format's unit) with
+/// nanosecond precision kept in the fraction.
+class ChromeTraceWriter final : public TraceSink {
+ public:
+  /// `capacity` bounds buffered events; further events are counted in
+  /// `dropped()` instead of stored.
+  explicit ChromeTraceWriter(std::size_t capacity = std::size_t{1} << 20)
+      : capacity_(capacity) {}
+
+  void record(const TraceEvent& e) override;
+
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Serialize everything recorded so far.
+  std::string to_json() const;
+  /// Write to_json() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  // TraceEvent holds string_views into call-site literals; Stored owns copies
+  // so the writer can outlive the emitting kernel.
+  struct Stored {
+    TraceEvent::Kind kind;
+    sim::Time ts;
+    sim::Time dur;
+    std::uint32_t pid;
+    std::uint32_t tid;
+    std::string cat;
+    std::string name;
+    std::vector<std::pair<std::string, std::int64_t>> args;
+  };
+
+  std::size_t capacity_;
+  std::vector<Stored> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace numasim::obs

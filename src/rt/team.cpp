@@ -49,7 +49,7 @@ Team Team::node_cores(Machine& m, topo::NodeId node, unsigned count) {
   return Team{m, {node_set.begin(), node_set.begin() + count}};
 }
 
-sim::Task<void> Team::parallel(Thread& caller, WorkerFn fn) {
+sim::Task<void> Team::parallel(Thread& caller, WorkerFn fn, std::string region) {
   auto state = std::make_shared<JoinState>();
   state->engine = &m_.engine();
   state->remaining = size();
@@ -63,8 +63,10 @@ sim::Task<void> Team::parallel(Thread& caller, WorkerFn fn) {
   for (unsigned i = 0; i < size(); ++i) {
     // Named locals, not literals: GCC 12 mishandles temporary closures with
     // non-trivial captures in coroutine bodies (docs/gcc12-coroutine-bug.md).
-    Machine::Body body = [fn, i](Thread& th) -> sim::Task<void> {
+    Machine::Body body = [fn, i, region](Thread& th) -> sim::Task<void> {
+      const sim::Time begin = th.ctx().clock;
       co_await fn(i, th);
+      th.kernel().emit_span(th.ctx(), region, begin);
     };
     std::function<void()> on_done = [state] { state->worker_done(); };
     workers.push_back(m_.spawn(cores_[i], std::move(body), std::move(on_done), start));
@@ -79,11 +81,12 @@ sim::Task<void> Team::parallel(Thread& caller, WorkerFn fn) {
   last_stats_.reset();
   for (Thread* w : workers) last_stats_ += w->stats();
   last_span_ = caller.ctx().clock - start;
+  m_.kernel().emit_span(caller.ctx(), region, start);
 }
 
 sim::Task<void> Team::parallel_for(Thread& caller, std::uint64_t begin,
                                    std::uint64_t end, Schedule sched, IndexFn body,
-                                   std::uint64_t chunk) {
+                                   std::uint64_t chunk, std::string region) {
   if (chunk == 0) chunk = 1;
   const std::uint64_t n = end > begin ? end - begin : 0;
 
@@ -98,7 +101,7 @@ sim::Task<void> Team::parallel_for(Thread& caller, std::uint64_t begin,
       const std::uint64_t hi = begin + std::min<std::uint64_t>(n, (tid + 1) * per);
       for (std::uint64_t i = lo; i < hi; ++i) co_await body(tid, th, i);
     };
-    co_await parallel(caller, std::move(worker));
+    co_await parallel(caller, std::move(worker), std::move(region));
     co_return;
   }
 
@@ -116,7 +119,7 @@ sim::Task<void> Team::parallel_for(Thread& caller, std::uint64_t begin,
       for (std::uint64_t i = lo; i < hi; ++i) co_await body(tid, th, i);
     }
   };
-  co_await parallel(caller, std::move(worker));
+  co_await parallel(caller, std::move(worker), std::move(region));
 }
 
 }  // namespace numasim::rt

@@ -33,7 +33,10 @@ class Team {
 
   using WorkerFn = std::function<sim::Task<void>(unsigned tid, Thread&)>;
   /// Fork size() workers, run `fn`, join. Caller time advances to the join.
-  sim::Task<void> parallel(Thread& caller, WorkerFn fn);
+  /// `region` names the trace span emitted for the region: one slice per
+  /// worker timeline plus a fork-to-join slice on the caller.
+  sim::Task<void> parallel(Thread& caller, WorkerFn fn,
+                           std::string region = "parallel");
 
   using IndexFn =
       std::function<sim::Task<void>(unsigned tid, Thread&, std::uint64_t i)>;
@@ -42,7 +45,8 @@ class Team {
   /// shared counter, paying a small dispatch cost per slice.
   sim::Task<void> parallel_for(Thread& caller, std::uint64_t begin,
                                std::uint64_t end, Schedule sched, IndexFn body,
-                               std::uint64_t chunk = 1);
+                               std::uint64_t chunk = 1,
+                               std::string region = "parallel_for");
 
   /// Aggregate cost stats of the workers of the last region.
   const sim::CostStats& last_stats() const { return last_stats_; }

@@ -46,16 +46,16 @@ sim::Task<int> Thread::mprotect(vm::Vaddr addr, std::uint64_t len, vm::Prot prot
   co_return r;
 }
 
-sim::Task<int> Thread::madvise(vm::Vaddr addr, std::uint64_t len,
-                               kern::Advice advice) {
-  const int r = kernel().sys_madvise(ctx_, addr, len, advice);
+sim::Task<kern::SyscallResult> Thread::madvise(vm::Vaddr addr, std::uint64_t len,
+                                               kern::Advice advice) {
+  const kern::SyscallResult r = kernel().sys_madvise(ctx_, addr, len, advice);
   co_await m_.engine().resume_at(ctx_.clock);
   co_return r;
 }
 
-sim::Task<int> Thread::mbind(vm::Vaddr addr, std::uint64_t len,
-                             vm::MemPolicy policy) {
-  const int r = kernel().sys_mbind(ctx_, addr, len, policy);
+sim::Task<kern::SyscallResult> Thread::mbind(vm::Vaddr addr, std::uint64_t len,
+                                             vm::MemPolicy policy) {
+  const kern::SyscallResult r = kernel().sys_mbind(ctx_, addr, len, policy);
   co_await m_.engine().resume_at(ctx_.clock);
   co_return r;
 }
@@ -114,9 +114,9 @@ sim::Task<int> Thread::write(vm::Vaddr addr, std::span<const std::byte> in) {
   co_return r;
 }
 
-sim::Task<long> Thread::move_pages(std::span<const vm::Vaddr> pages,
-                                   std::span<const topo::NodeId> nodes,
-                                   std::span<int> status) {
+sim::Task<kern::SyscallResult> Thread::move_pages(
+    std::span<const vm::Vaddr> pages, std::span<const topo::NodeId> nodes,
+    std::span<int> status) {
   if (!nodes.empty() && nodes.size() != pages.size()) co_return -kern::kEINVAL;
   if (status.size() != pages.size()) co_return -kern::kEINVAL;
   kernel().move_pages_enter(ctx_, pages.size());
@@ -140,8 +140,8 @@ sim::Task<long> Thread::move_range(vm::Vaddr addr, std::uint64_t len,
   for (vm::Vpn vpn = first; vpn < last; ++vpn) pages.push_back(vm::addr_of(vpn));
   std::vector<topo::NodeId> nodes(pages.size(), node);
   std::vector<int> status(pages.size(), 0);
-  const long r = co_await move_pages(pages, nodes, status);
-  if (r < 0) co_return r;
+  const kern::SyscallResult r = co_await move_pages(pages, nodes, status);
+  if (!r.ok()) co_return static_cast<long>(r);
   long moved = 0;
   for (int s : status)
     if (s >= 0) ++moved;

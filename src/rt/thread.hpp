@@ -8,6 +8,8 @@
 #pragma once
 
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "kern/kernel.hpp"
@@ -33,6 +35,36 @@ class Thread {
   topo::NodeId node() const { return m_.topology().node_of_core(ctx_.core); }
   const sim::CostStats& stats() const { return ctx_.stats; }
 
+  // --- observability annotations ----------------------------------------------
+  /// Scoped phase annotation: emits an "app" span covering its lifetime into
+  /// the kernel's trace sinks (a named slice on this thread's timeline in
+  /// the Chrome trace). Free when no sink is attached; never advances
+  /// simulated time.
+  class Phase {
+   public:
+    Phase(Thread& th, std::string name)
+        : th_(&th), name_(std::move(name)), begin_(th.ctx().clock) {}
+    Phase(const Phase&) = delete;
+    Phase& operator=(const Phase&) = delete;
+    ~Phase() { end(); }
+    /// Close the span early (idempotent).
+    void end() {
+      if (th_ != nullptr) {
+        th_->kernel().emit_span(th_->ctx(), name_, begin_);
+        th_ = nullptr;
+      }
+    }
+
+   private:
+    Thread* th_;
+    std::string name_;
+    sim::Time begin_;
+  };
+  Phase phase(std::string name) { return Phase{*this, std::move(name)}; }
+
+  /// Instant marker on this thread's timeline.
+  void annotate(std::string_view name) { kernel().emit_instant(ctx_, name); }
+
   /// Re-synchronize with the engine (await until global clock == ctx.clock).
   sim::Task<void> sync();
 
@@ -47,8 +79,10 @@ class Thread {
                             vm::MemPolicy policy = {}, std::string name = {});
   sim::Task<int> munmap(vm::Vaddr addr, std::uint64_t len);
   sim::Task<int> mprotect(vm::Vaddr addr, std::uint64_t len, vm::Prot prot);
-  sim::Task<int> madvise(vm::Vaddr addr, std::uint64_t len, kern::Advice advice);
-  sim::Task<int> mbind(vm::Vaddr addr, std::uint64_t len, vm::MemPolicy policy);
+  sim::Task<kern::SyscallResult> madvise(vm::Vaddr addr, std::uint64_t len,
+                                         kern::Advice advice);
+  sim::Task<kern::SyscallResult> mbind(vm::Vaddr addr, std::uint64_t len,
+                                       vm::MemPolicy policy);
   sim::Task<int> set_mempolicy(vm::MemPolicy policy);
 
   // --- data plane --------------------------------------------------------------
@@ -71,9 +105,9 @@ class Thread {
 
   // --- migration ----------------------------------------------------------------
   /// move_pages(2), chunked for realistic concurrency.
-  sim::Task<long> move_pages(std::span<const vm::Vaddr> pages,
-                             std::span<const topo::NodeId> nodes,
-                             std::span<int> status);
+  sim::Task<kern::SyscallResult> move_pages(std::span<const vm::Vaddr> pages,
+                                            std::span<const topo::NodeId> nodes,
+                                            std::span<int> status);
 
   /// Convenience: synchronously migrate a whole range to `node`.
   sim::Task<long> move_range(vm::Vaddr addr, std::uint64_t len, topo::NodeId node);

@@ -2,6 +2,7 @@
 // the mprotect/SIGSEGV user next-touch (paper Fig. 1).
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "lib/numalib.hpp"
@@ -169,6 +170,91 @@ TEST_F(LibTest, FaultOutsideArmedRegionStillFatal) {
   kern::ThreadCtx t = ctx_on(0);
   UserNextTouch unt(k_, pid_);
   EXPECT_THROW(k_.access(t, 0x40, 8, vm::Prot::kRead, 3500.0), kern::SegfaultError);
+}
+
+// --- NumaBuffer RAII handle --------------------------------------------------
+
+TEST_F(LibTest, NumaBufferFreesOnDestruction) {
+  kern::ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 16 * mem::kPageSize;
+  {
+    NumaBuffer b = NumaBuffer::on_node(t, k_, len, 3, "raii");
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(b.size(), len);
+    EXPECT_EQ(b.node(), 3u);
+    b.populate(t);
+    EXPECT_EQ(b.pages_on(3), 16u);
+    EXPECT_EQ(k_.phys().total_used_frames(), 16u);
+  }
+  EXPECT_EQ(k_.phys().total_used_frames(), 0u);
+}
+
+TEST_F(LibTest, NumaBufferMoveTransfersOwnership) {
+  kern::ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 8 * mem::kPageSize;
+  NumaBuffer a = NumaBuffer::on_node(t, k_, len, 1, "mv");
+  a.populate(t);
+  const vm::Vaddr addr = a.addr();
+
+  NumaBuffer b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.addr(), addr);
+  EXPECT_EQ(b.pages_on(1), 8u);
+
+  NumaBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.addr(), addr);
+  EXPECT_EQ(k_.phys().total_used_frames(), 8u);
+  EXPECT_EQ(c.free(t), 0);
+  EXPECT_FALSE(static_cast<bool>(c));
+  EXPECT_EQ(k_.phys().total_used_frames(), 0u);
+}
+
+TEST_F(LibTest, NumaBufferSyncMigrateMoves) {
+  kern::ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 32 * mem::kPageSize;
+  NumaBuffer b = NumaBuffer::on_node(t, k_, len, 0, "sync");
+  b.populate(t);
+  const kern::SyscallResult r = b.sync_migrate(t, 2);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.count(), 32);
+  EXPECT_EQ(b.pages_on(2), 32u);
+}
+
+TEST_F(LibTest, NumaBufferLazyMigrateFollowsToucher) {
+  kern::ThreadCtx t0 = ctx_on(0);
+  const std::uint64_t len = 16 * mem::kPageSize;
+  NumaBuffer b = NumaBuffer::on_node(t0, k_, len, 0, "lazy");
+  b.populate(t0);
+  EXPECT_TRUE(b.lazy_migrate(t0).ok());
+  kern::ThreadCtx t1 = ctx_on(6);  // node 1
+  k_.access(t1, b.addr(), b.size(), vm::Prot::kRead, 3500.0);
+  EXPECT_EQ(b.pages_on(1), 16u);
+}
+
+TEST_F(LibTest, NumaBufferReleaseKeepsMapping) {
+  kern::ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 4 * mem::kPageSize;
+  vm::Vaddr addr = 0;
+  {
+    NumaBuffer b = NumaBuffer::local(t, k_, len, "rel");
+    b.populate(t);
+    addr = b.release();
+    EXPECT_FALSE(static_cast<bool>(b));
+  }
+  // Still mapped after the handle died; the legacy free path reclaims it.
+  EXPECT_EQ(k_.phys().total_used_frames(), 4u);
+  numa_free(t, k_, addr, len);
+  EXPECT_EQ(k_.phys().total_used_frames(), 0u);
+}
+
+TEST_F(LibTest, NumaBufferInterleavedSpreads) {
+  kern::ThreadCtx t = ctx_on(0);
+  const std::uint64_t len = 16 * mem::kPageSize;
+  NumaBuffer b = NumaBuffer::interleaved(t, k_, len);
+  EXPECT_EQ(b.node(), topo::kInvalidNode);
+  b.populate(t);
+  for (topo::NodeId n = 0; n < 4; ++n) EXPECT_EQ(b.pages_on(n), 4u);
 }
 
 // Property: for every granule size dividing the region, total pages moved
