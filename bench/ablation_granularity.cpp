@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> granules{1, 4, 16, 64, 256, 1024, 0 /*whole*/};
   for (std::uint64_t g : granules) {
     if (g > npages) continue;
-    kern::Kernel k(t, mem::Backing::kPhantom);
+    kern::Kernel k(bench::phantom_kernel_config(t));
     bench::observe(k);
     const kern::Pid pid = k.create_process();
     kern::ThreadCtx owner;

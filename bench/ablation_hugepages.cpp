@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t mib : {2u, 8u, 32u, opts.quick ? 32u : 128u}) {
     const std::uint64_t len = mib << 20;
 
-    kern::Kernel k(t, mem::Backing::kPhantom);
+    kern::Kernel k(bench::phantom_kernel_config(t));
     bench::observe(k);
     const kern::Pid pid = k.create_process();
     kern::ThreadCtx c;

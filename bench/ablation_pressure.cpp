@@ -33,7 +33,9 @@ struct Result {
 /// implementation over the Fig. 2 kernel one.
 Result run(const topo::Topology& t, std::uint64_t max_frames,
            std::uint64_t npages, std::uint64_t filler_pages, bool user_nt) {
-  kern::Kernel k(t, mem::Backing::kPhantom, {}, max_frames);
+  kern::KernelConfig cfg = bench::phantom_kernel_config(t);
+  cfg.max_frames_per_node = max_frames;
+  kern::Kernel k(cfg);
   bench::observe(k);
   const kern::Pid pid = k.create_process("pressure");
   kern::EventLog log(1 << 20);

@@ -15,7 +15,7 @@ using namespace numasim;
 namespace {
 
 double classic_mbps(const topo::Topology& t, std::uint64_t npages) {
-  kern::Kernel k(t, mem::Backing::kPhantom);
+  kern::Kernel k(bench::phantom_kernel_config(t));
   bench::observe(k);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx c;
@@ -34,7 +34,7 @@ double classic_mbps(const topo::Topology& t, std::uint64_t npages) {
 }
 
 double ranged_mbps(const topo::Topology& t, std::uint64_t npages) {
-  kern::Kernel k(t, mem::Backing::kPhantom);
+  kern::Kernel k(bench::phantom_kernel_config(t));
   bench::observe(k);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx c;

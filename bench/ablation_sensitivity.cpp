@@ -13,7 +13,9 @@ namespace {
 
 /// Patched move_pages plateau throughput under a modified cost model.
 double move_pages_plateau(const topo::Topology& t, const kern::CostModel& cm) {
-  kern::Kernel k(t, mem::Backing::kPhantom, cm);
+  kern::KernelConfig cfg = bench::phantom_kernel_config(t);
+  cfg.cost = cm;
+  kern::Kernel k(cfg);
   bench::observe(k);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx c;
@@ -33,7 +35,9 @@ double move_pages_plateau(const topo::Topology& t, const kern::CostModel& cm) {
 
 /// Kernel next-touch plateau under a modified cost model.
 double nt_plateau(const topo::Topology& t, const kern::CostModel& cm) {
-  kern::Kernel k(t, mem::Backing::kPhantom, cm);
+  kern::KernelConfig cfg = bench::phantom_kernel_config(t);
+  cfg.cost = cm;
+  kern::Kernel k(cfg);
   bench::observe(k);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx c;

@@ -29,16 +29,30 @@ struct Options {
   bool quick = false;      ///< reduced sweeps for smoke runs
   bool metrics = false;    ///< print a metrics report to stderr on exit
   std::string trace_file;  ///< write Chrome trace-event JSON here ("--trace=")
+  /// Migration-engine locking ("--lock-model=coarse|range"). Coarse is the
+  /// paper-faithful default; range is the scalable engine.
+  kern::LockModel lock_model = kern::LockModel::kCoarse;
 };
+
+/// The run's parsed options; parse_options() fills it so measurement helpers
+/// (which construct kernels locally) pick up machine-wide knobs like the
+/// lock model without threading Options through every signature.
+inline Options& current_options() {
+  static Options o;
+  return o;
+}
 
 inline void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--csv] [--quick] [--metrics] [--trace=FILE]\n"
+               "          [--lock-model=coarse|range]\n"
                "  --csv          machine-readable output\n"
                "  --quick        reduced sweeps for smoke runs\n"
                "  --metrics      print a metrics report to stderr on exit\n"
                "  --trace=FILE   write a Chrome trace-event JSON file\n"
-               "                 (open in chrome://tracing or ui.perfetto.dev)\n",
+               "                 (open in chrome://tracing or ui.perfetto.dev)\n"
+               "  --lock-model=M migration locking: coarse (paper-faithful\n"
+               "                 default) or range (scalable engine)\n",
                prog);
 }
 
@@ -54,6 +68,17 @@ inline Options parse_options(int argc, char** argv) {
       o.metrics = true;
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       o.trace_file = a + 8;
+    } else if (std::strncmp(a, "--lock-model=", 13) == 0) {
+      const char* m = a + 13;
+      if (std::strcmp(m, "coarse") == 0) {
+        o.lock_model = kern::LockModel::kCoarse;
+      } else if (std::strcmp(m, "range") == 0) {
+        o.lock_model = kern::LockModel::kRange;
+      } else {
+        std::fprintf(stderr, "%s: bad --lock-model '%s' (coarse|range)\n",
+                     argv[0], m);
+        std::exit(2);
+      }
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       print_usage(argv[0]);
       std::exit(0);
@@ -63,6 +88,7 @@ inline Options parse_options(int argc, char** argv) {
       std::exit(2);
     }
   }
+  current_options() = o;
   return o;
 }
 
@@ -192,16 +218,24 @@ inline void observe(kern::Kernel& k) {
 }
 inline void observe(rt::Machine& m) { observe(m.kernel()); }
 
+/// Phantom-backed kernel config on topology `t`, honoring the run's
+/// machine-wide options (currently the lock model).
+inline kern::KernelConfig phantom_kernel_config(const topo::Topology& t) {
+  kern::KernelConfig cfg;
+  cfg.topology = t;
+  cfg.backing = mem::Backing::kPhantom;
+  cfg.lock_model = current_options().lock_model;
+  return cfg;
+}
+
 /// Fresh phantom-backed paper machine (one per measurement so hardware
 /// timelines start idle).
 inline kern::Kernel fresh_kernel(const topo::Topology& t) {
-  return kern::Kernel(t, mem::Backing::kPhantom);
+  return kern::Kernel(phantom_kernel_config(t));
 }
 
 inline rt::Machine::Config phantom_config() {
-  rt::Machine::Config cfg;
-  cfg.backing = mem::Backing::kPhantom;
-  return cfg;
+  return phantom_kernel_config(topo::Topology::quad_opteron());
 }
 
 }  // namespace numasim::bench

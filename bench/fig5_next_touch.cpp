@@ -23,7 +23,7 @@ struct Probe {
   std::uint64_t len;
 
   Probe(const topo::Topology& t, std::uint64_t npages)
-      : k(t, mem::Backing::kPhantom), pid(k.create_process()),
+      : k(bench::phantom_kernel_config(t)), pid(k.create_process()),
         len(npages * mem::kPageSize) {
     bench::observe(k);
     owner.pid = pid;

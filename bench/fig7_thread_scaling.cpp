@@ -13,10 +13,15 @@ using namespace numasim;
 
 namespace {
 
-sim::Time run_one(std::uint64_t npages, unsigned nthreads, bool lazy) {
+struct RunResult {
+  sim::Time span = 0;       ///< fork-to-join wall span
+  sim::Time lock_wait = 0;  ///< aggregate lock-wait across the workers
+};
+
+RunResult run_one(std::uint64_t npages, unsigned nthreads, bool lazy) {
   rt::Machine m(bench::phantom_config());
   bench::observe(m);
-  sim::Time span = 0;
+  RunResult res;
   m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
     const std::uint64_t len = npages * mem::kPageSize;
     const vm::Vaddr buf = co_await th.mmap(
@@ -37,9 +42,10 @@ sim::Time run_one(std::uint64_t npages, unsigned nthreads, bool lazy) {
       }
     };
     co_await team.parallel(th, std::move(worker));
-    span = team.last_span();
+    res.span = team.last_span();
+    res.lock_wait = team.last_stats().get(sim::CostKind::kLockWait);
   });
-  return span;
+  return res;
 }
 
 }  // namespace
@@ -51,19 +57,31 @@ int main(int argc, char** argv) {
   std::vector<std::string> cols{"pages"};
   for (unsigned n = 1; n <= 4; ++n) cols.push_back("sync_" + std::to_string(n) + "t");
   for (unsigned n = 1; n <= 4; ++n) cols.push_back("lazy_" + std::to_string(n) + "t");
+  // Lock-wait columns: aggregate worker time spent queued on the mmap /
+  // range locks (us) — the contention fig. 7 attributes the sync plateau to.
+  for (unsigned n = 1; n <= 4; ++n)
+    cols.push_back("sync_lockw_" + std::to_string(n) + "t_us");
+  for (unsigned n = 1; n <= 4; ++n)
+    cols.push_back("lazy_lockw_" + std::to_string(n) + "t_us");
   numasim::bench::print_header(
       opts, "Fig. 7 — aggregate migration throughput node0 -> node1 (MB/s)", cols);
 
   for (std::uint64_t pages = 64; pages <= (opts.quick ? 2048u : 32768u); pages *= 2) {
     std::vector<std::string> row{numasim::bench::fmt_u64(pages)};
+    std::vector<std::string> lockw;
     for (unsigned nt = 1; nt <= 4; ++nt) {
-      const sim::Time t = run_one(pages, nt, /*lazy=*/false);
-      row.push_back(numasim::bench::fmt(sim::mb_per_second(pages * mem::kPageSize, t)));
+      const RunResult r = run_one(pages, nt, /*lazy=*/false);
+      row.push_back(
+          numasim::bench::fmt(sim::mb_per_second(pages * mem::kPageSize, r.span)));
+      lockw.push_back(numasim::bench::fmt(static_cast<double>(r.lock_wait) / 1000.0));
     }
     for (unsigned nt = 1; nt <= 4; ++nt) {
-      const sim::Time t = run_one(pages, nt, /*lazy=*/true);
-      row.push_back(numasim::bench::fmt(sim::mb_per_second(pages * mem::kPageSize, t)));
+      const RunResult r = run_one(pages, nt, /*lazy=*/true);
+      row.push_back(
+          numasim::bench::fmt(sim::mb_per_second(pages * mem::kPageSize, r.span)));
+      lockw.push_back(numasim::bench::fmt(static_cast<double>(r.lock_wait) / 1000.0));
     }
+    row.insert(row.end(), lockw.begin(), lockw.end());
     numasim::bench::print_row(opts, row);
   }
   obsv.finish();

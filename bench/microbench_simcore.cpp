@@ -46,7 +46,8 @@ void BM_FirstTouchFaultPath(benchmark::State& state) {
   const topo::Topology topo = topo::Topology::quad_opteron();
   const std::int64_t pages = state.range(0);
   for (auto _ : state) {
-    kern::Kernel k(topo, mem::Backing::kPhantom);
+    kern::Kernel k(kern::KernelConfig{.topology = topo,
+                                      .backing = mem::Backing::kPhantom});
     const kern::Pid pid = k.create_process();
     kern::ThreadCtx t;
     t.pid = pid;
@@ -63,7 +64,8 @@ void BM_NextTouchMigrationPath(benchmark::State& state) {
   const topo::Topology topo = topo::Topology::quad_opteron();
   const std::int64_t pages = state.range(0);
   for (auto _ : state) {
-    kern::Kernel k(topo, mem::Backing::kPhantom);
+    kern::Kernel k(kern::KernelConfig{.topology = topo,
+                                      .backing = mem::Backing::kPhantom});
     const kern::Pid pid = k.create_process();
     kern::ThreadCtx t;
     t.pid = pid;

@@ -24,7 +24,8 @@ void show(kern::Kernel& k, kern::Pid pid, const char* name) {
 
 int main() {
   const topo::Topology topo = topo::Topology::quad_opteron();
-  kern::Kernel k(topo, mem::Backing::kPhantom);
+  kern::Kernel k(kern::KernelConfig{.topology = topo,
+                                    .backing = mem::Backing::kPhantom});
   kern::EventLog log;
   k.set_event_log(&log);
 
@@ -57,6 +58,9 @@ int main() {
   admin.core = 0;
   admin.clock = std::max(ta.clock, tb.clock);
   const sim::Time t0 = admin.clock;
+  // Deliberately consumes the raw Linux ABI value (negative errno or count):
+  // this example demonstrates the classic numactl convention. New code should
+  // keep the kern::SyscallResult and use .ok()/.error()/.count().
   const long moved = k.sys_migrate_pages(admin, bob, /*from=*/0b0011, /*to=*/0b1100);
 
   std::printf("=== migrate_pages(bob, {0,1} -> {2,3}) ===\n");

@@ -10,6 +10,8 @@
 // Sensitivity ablation benches sweep individual constants.
 #pragma once
 
+#include <cstdint>
+
 #include "sim/time.hpp"
 
 namespace numasim::kern {
@@ -110,6 +112,26 @@ struct CostModel {
   Time move_pages_serial_per_page = 4100;
   Time nt_serial_per_page = 3150;
   Time migrate_pages_serial_per_page = 3600;
+
+  // --- scalable engine (LockModel::kRange) --------------------------------------
+  /// Serialized per-page cost under a per-VMA range lock: only the
+  /// page-table-lock / LRU work of the page itself — the mmap_sem cache-line
+  /// bounce and the full-broadcast IPI share of the coarse constants are
+  /// gone, so disjoint ranges migrate in parallel up to the copy hardware.
+  Time range_serial_per_page = 2500;
+  Time nt_range_serial_per_page = 1900;
+  /// Coalesced TLB shootdown: one IPI round per contiguous migrated run,
+  /// plus a per-page invalidation at the receiving cores.
+  Time tlb_shootdown_round_per_page = 80;
+  Time tlb_shootdown_round(unsigned cores, std::uint64_t pages) const {
+    return tlb_shootdown(cores) +
+           tlb_shootdown_round_per_page * static_cast<Time>(pages);
+  }
+
+  // --- kmigrated (per-node asynchronous migration daemons) ----------------------
+  Time kmigrated_submit = 1200;      ///< enqueue + daemon wakeup IPI (caller pays)
+  Time kmigrated_wakeup = 8000;      ///< daemon schedule-in latency
+  Time kmigrated_batch_base = 3000;  ///< dequeue + batch setup (daemon pays)
 
   // --- barriers / scheduling ------------------------------------------------------
   Time barrier_phase = 2500;     ///< one OpenMP-style barrier episode

@@ -20,6 +20,9 @@ std::string_view event_type_name(EventType t) {
     case EventType::kShootdownRetry: return "shootdown-retry";
     case EventType::kSignalDelay: return "signal-delay";
     case EventType::kAllocStall: return "alloc-stall";
+    case EventType::kKmigratedSubmit: return "kmigrated-submit";
+    case EventType::kKmigratedComplete: return "kmigrated-complete";
+    case EventType::kKmigratedDrop: return "kmigrated-drop";
   }
   return "?";
 }
@@ -34,6 +37,8 @@ void EventLog::record(const obs::TraceEvent& e) {
       EventType::kMigrateRetry,      EventType::kMigrateFail,
       EventType::kNextTouchDegraded, EventType::kShootdownRetry,
       EventType::kSignalDelay,       EventType::kAllocStall,
+      EventType::kKmigratedSubmit,   EventType::kKmigratedComplete,
+      EventType::kKmigratedDrop,
   };
   for (EventType t : kAll) {
     if (event_type_name(t) != e.name) continue;

@@ -39,6 +39,10 @@ enum class EventType : std::uint8_t {
   kShootdownRetry,     // TLB-shootdown IPI lost and re-sent
   kSignalDelay,        // SIGSEGV delivery delayed
   kAllocStall,         // first-touch allocation stalled in (simulated) reclaim
+  // Scalable-engine events (kmigrated daemons):
+  kKmigratedSubmit,    // batch handed to a per-node kmigrated daemon
+  kKmigratedComplete,  // daemon finished the batch (stamped at completion)
+  kKmigratedDrop,      // batch dropped (fault injection)
 };
 
 std::string_view event_type_name(EventType t);

@@ -106,6 +106,9 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
     } else if (kind == "signal") {
       if (p < 0.0) bad_spec("signal needs p=", clause);
       plan.signal_delay_p = p;
+    } else if (kind == "kmigrated") {
+      if (p < 0.0) bad_spec("kmigrated needs p=", clause);
+      plan.kmigrated_drop_p = p;
     } else {
       bad_spec("unknown fault point", clause);
     }
@@ -153,6 +156,10 @@ std::string FaultPlan::to_string() const {
   }
   if (signal_delay_p > 0.0) {
     std::snprintf(buf, sizeof buf, "signal:p=%g", signal_delay_p);
+    append(buf);
+  }
+  if (kmigrated_drop_p > 0.0) {
+    std::snprintf(buf, sizeof buf, "kmigrated:p=%g", kmigrated_drop_p);
     append(buf);
   }
   return out;
@@ -222,6 +229,13 @@ bool FaultInjector::delay_signal() {
   const bool delay = rng_.chance(plan_.signal_delay_p);
   if (delay) ++counters_.signals_delayed;
   return delay;
+}
+
+bool FaultInjector::drop_kmigrated() {
+  if (plan_.kmigrated_drop_p == 0.0) return false;
+  const bool drop = rng_.chance(plan_.kmigrated_drop_p);
+  if (drop) ++counters_.kmigrated_dropped;
+  return drop;
 }
 
 }  // namespace numasim::kern

@@ -31,6 +31,9 @@ namespace numasim::kern {
 ///   copy:pt=0.1,pp=0.01      per-copy transient / permanent failure odds
 ///   shootdown:p=0.01         TLB-shootdown IPI lost; initiator re-sends
 ///   signal:p=0.02            SIGSEGV delivery delayed by the redelivery cost
+///   kmigrated:p=0.05         async migration batch dropped on the daemon
+///                            queue (pages stay where they are; the caller
+///                            sees it only through counters/events)
 ///
 /// Clauses are ';'-separated; later clauses override earlier ones except
 /// `alloc:nth` and `cap`, which accumulate.
@@ -52,13 +55,15 @@ struct FaultPlan {
   double copy_permanent_p = 0.0;
   double shootdown_drop_p = 0.0;
   double signal_delay_p = 0.0;
+  double kmigrated_drop_p = 0.0;
 
   /// True when the plan injects nothing (the injector then never draws
   /// randomness, preserving byte-identical baseline runs).
   bool empty() const {
     return alloc_fail_p == 0.0 && nth_allocs.empty() && node_caps.empty() &&
            copy_transient_p == 0.0 && copy_permanent_p == 0.0 &&
-           shootdown_drop_p == 0.0 && signal_delay_p == 0.0;
+           shootdown_drop_p == 0.0 && signal_delay_p == 0.0 &&
+           kmigrated_drop_p == 0.0;
   }
 
   /// Parse the spec format above. Throws std::invalid_argument on a
@@ -87,6 +92,7 @@ class FaultInjector {
     std::uint64_t copies_permanent = 0;
     std::uint64_t shootdowns_dropped = 0;
     std::uint64_t signals_delayed = 0;
+    std::uint64_t kmigrated_dropped = 0;
   };
 
   FaultInjector() = default;
@@ -112,6 +118,9 @@ class FaultInjector {
 
   /// Is this SIGSEGV delivery delayed?
   bool delay_signal();
+
+  /// Is this kmigrated batch dropped from the daemon's work queue?
+  bool drop_kmigrated();
 
   /// Caps from the plan, for the kernel to apply to the frame allocator.
   const std::vector<FaultPlan::NodeCap>& node_caps() const {

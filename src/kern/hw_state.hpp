@@ -4,6 +4,7 @@
 // that make concurrent simulated threads contend for it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -34,6 +35,74 @@ class OwnedTimeline {
   static constexpr std::uint32_t kNoOwner = static_cast<std::uint32_t>(-1);
   sim::Timeline line_;
   std::uint32_t last_owner_ = kNoOwner;
+};
+
+/// Interval-granular lock over one VMA's page range (LockModel::kRange).
+///
+/// A reservation claims [lo, hi) (page numbers) for `hold` ns starting no
+/// earlier than `now`. It queues behind every outstanding hold that overlaps
+/// the interval and conflicts (writer vs anything; readers pass each other),
+/// and pays one cache-line `bounce` when the nearest conflicting hold came
+/// from a different owner — the same penalty OwnedTimeline charges, but only
+/// on true range collisions. Holds from the same owner/mode that touch are
+/// coalesced, so the live set stays proportional to the number of concurrent
+/// claimants rather than the number of operations.
+class RangeLock {
+ public:
+  sim::Slot reserve(sim::Time now, sim::Time hold, std::uint64_t lo,
+                    std::uint64_t hi, bool exclusive, std::uint32_t owner,
+                    sim::Time bounce) {
+    sim::Time start = now;
+    bool bounced = false;
+    for (const Hold& h : holds_) {
+      if (h.hi <= lo || h.lo >= hi) continue;        // disjoint range
+      if (!exclusive && !h.exclusive) continue;      // reader/reader overlap
+      if (h.free_at > start) start = h.free_at;
+      if (h.owner != owner) bounced = true;
+    }
+    if (bounced) hold += bounce;
+    const sim::Time finish = start + hold;
+    // Coalesce with same-owner/same-mode holds that touch [lo, hi).
+    Hold merged{lo, hi, finish, owner, exclusive};
+    for (std::size_t i = holds_.size(); i-- > 0;) {
+      const Hold& h = holds_[i];
+      if (h.owner != owner || h.exclusive != exclusive) continue;
+      if (h.hi < merged.lo || h.lo > merged.hi) continue;  // not touching
+      if (h.lo < merged.lo) merged.lo = h.lo;
+      if (h.hi > merged.hi) merged.hi = h.hi;
+      if (h.free_at > merged.free_at) merged.free_at = h.free_at;
+      holds_.erase(holds_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    holds_.push_back(merged);
+    prune(start);
+    return {start, finish};
+  }
+
+  std::size_t live_holds() const { return holds_.size(); }
+
+  void reset() { holds_.clear(); }
+
+ private:
+  struct Hold {
+    std::uint64_t lo, hi;  // page-number interval [lo, hi)
+    sim::Time free_at;
+    std::uint32_t owner;
+    bool exclusive;
+  };
+
+  // Drop holds that expired before every in-flight thread's possible arrival.
+  // `start` is monotone per owner but not globally, so only prune holds that
+  // are stale by a wide margin; coalescing already bounds growth.
+  void prune(sim::Time start) {
+    if (holds_.size() < 64) return;
+    sim::Time min_free = holds_.front().free_at;
+    for (const Hold& h : holds_)
+      if (h.free_at < min_free) min_free = h.free_at;
+    if (min_free >= start) return;
+    std::erase_if(holds_, [&](const Hold& h) { return h.free_at == min_free; });
+  }
+
+  std::vector<Hold> holds_;
 };
 
 /// Outcome of a hardware data stream: when the requester could start, when

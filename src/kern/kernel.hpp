@@ -24,6 +24,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "kern/cost_model.hpp"
@@ -31,6 +32,7 @@
 #include "kern/event_log.hpp"
 #include "kern/fault_injector.hpp"
 #include "kern/hw_state.hpp"
+#include "kern/kmigrated.hpp"
 #include "kern/replication.hpp"
 #include "mem/phys.hpp"
 #include "obs/metrics.hpp"
@@ -83,6 +85,45 @@ enum class MovePagesImpl : std::uint8_t {
   kLinear,     ///< the paper's patch (merged in 2.6.29)
 };
 
+/// Concurrency model of the migration paths.
+enum class LockModel : std::uint8_t {
+  /// Paper-faithful (2.6.29-era) locking: every migration path serializes on
+  /// one process-wide mmap_sem timeline plus one migration pipeline, and
+  /// each migrated page pays a full all-core TLB shootdown. This is the
+  /// default and reproduces Fig. 7's flat/collapsing thread-scaling curves.
+  kCoarse,
+  /// Scalable engine: migration paths take the whole-space lock *shared*
+  /// (only mmap/munmap/mprotect surgery is exclusive), per-VMA range locks
+  /// serialize only overlapping page runs, and the shootdowns of one
+  /// contiguous migrated run coalesce into a single IPI round. Disjoint
+  /// ranges then migrate in parallel up to the copy hardware's bandwidth.
+  kRange,
+};
+
+/// Aggregate construction parameters for a Kernel: one struct instead of a
+/// positional constructor plus accreted setters. The kernel owns a copy, so
+/// configs are freely reusable/temporary. rt::Machine::Config is an alias.
+struct KernelConfig {
+  topo::Topology topology = topo::Topology::quad_opteron();
+  mem::Backing backing = mem::Backing::kMaterialized;
+  CostModel cost{};
+  LockModel lock_model = LockModel::kCoarse;
+  MovePagesImpl move_pages_impl = MovePagesImpl::kLinear;
+  /// Extension toggle: replicate read-only pages on remote read faults.
+  bool replication = false;
+  std::uint64_t max_frames_per_node = 0;  ///< 0 = topology default
+  /// Next-touch migrate-ahead: on each next-touch fault, up to this many
+  /// further contiguous next-touch pages are handed to the faulting node's
+  /// kmigrated daemon as one async batch. 0 (default) keeps the
+  /// paper-faithful synchronous behaviour.
+  std::uint64_t nt_async_window = 0;
+  /// Fault plan applied at construction (empty = no injector attached, no
+  /// randomness drawn). The kernel owns the resulting injector;
+  /// set_fault_injector() overrides it with an external one.
+  FaultPlan fault_plan{};
+  std::uint64_t fault_seed = 0;
+};
+
 /// Result of an access() call (MMU emulation).
 struct AccessResult {
   std::uint64_t pages = 0;
@@ -111,12 +152,18 @@ struct KernelStats {
   std::uint64_t shootdown_retries = 0;   ///< lost + re-sent shootdown IPIs
   std::uint64_t signals_delayed = 0;     ///< SIGSEGV deliveries delayed
   std::uint64_t alloc_stalls = 0;        ///< first-touch reclaim stalls
+  // kmigrated (async per-node migration daemons):
+  std::uint64_t kmigrated_batches = 0;         ///< batches accepted by a daemon
+  std::uint64_t kmigrated_pages = 0;           ///< pages migrated by daemons
+  std::uint64_t kmigrated_batches_dropped = 0; ///< batches lost (fault injection)
+  std::uint64_t kmigrated_pages_failed = 0;    ///< per-page ENOMEM inside a batch
 };
 
 class Kernel {
  public:
-  Kernel(const topo::Topology& topo, mem::Backing backing,
-         CostModel cost = {}, std::uint64_t max_frames_per_node = 0);
+  /// The one construction path: every knob comes in through the config, of
+  /// which the kernel keeps its own copy (including the topology).
+  explicit Kernel(KernelConfig cfg);
   /// Detaches any metrics registry (retiring bound counters so an attached
   /// registry keeps accumulating across kernel generations). Not movable:
   /// the registry and sinks hold pointers into this object.
@@ -124,12 +171,14 @@ class Kernel {
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
+  const KernelConfig& config() const { return cfg_; }
   const topo::Topology& topo() const { return topo_; }
   const CostModel& cost() const { return cost_; }
   CostModel& cost_mutable() { return cost_; }
   HwState& hw() { return hw_; }
   mem::PhysMem& phys() { return phys_; }
   const KernelStats& stats() const { return kstats_; }
+  LockModel lock_model() const { return cfg_.lock_model; }
 
   /// Selects which move_pages implementation sys_move_pages uses.
   void set_move_pages_impl(MovePagesImpl impl) { move_impl_ = impl; }
@@ -194,18 +243,19 @@ class Kernel {
   vm::Vaddr sys_mmap(ThreadCtx& t, std::uint64_t len, vm::Prot prot,
                      const vm::MemPolicy& policy = {}, std::string name = {},
                      bool huge = false);
-  int sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len);
-  int sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len, vm::Prot prot,
-                   sim::CostKind attribute = sim::CostKind::kMprotectMark);
+  SyscallResult sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len);
+  SyscallResult sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                             vm::Prot prot,
+                             sim::CostKind attribute = sim::CostKind::kMprotectMark);
   SyscallResult sys_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
                             Advice advice);
   /// mbind(2). With `move_existing` (MPOL_MF_MOVE), pages already present
   /// that violate the new policy are migrated to comply.
   SyscallResult sys_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
                           const vm::MemPolicy& policy, bool move_existing = false);
-  int sys_set_mempolicy(ThreadCtx& t, const vm::MemPolicy& policy);
-  int sys_get_mempolicy(ThreadCtx& t, vm::MemPolicy& out);
-  int sys_getcpu(ThreadCtx& t, topo::CoreId* core, topo::NodeId* node);
+  SyscallResult sys_set_mempolicy(ThreadCtx& t, const vm::MemPolicy& policy);
+  SyscallResult sys_get_mempolicy(ThreadCtx& t, vm::MemPolicy& out);
+  SyscallResult sys_getcpu(ThreadCtx& t, topo::CoreId* core, topo::NodeId* node);
 
   /// move_pages(2). `nodes` empty => query-only mode (status = current node).
   /// Returns ok() or error(); per-page results land in `status` (node id or
@@ -215,9 +265,9 @@ class Kernel {
                                std::span<int> status);
 
   /// migrate_pages(2): move every page of `target` on a node in `from` to the
-  /// corresponding slot in `to`. Returns number of pages migrated or -errno.
-  long sys_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
-                         topo::NodeMask to);
+  /// corresponding slot in `to`. count() = pages migrated, or error().
+  SyscallResult sys_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
+                                  topo::NodeMask to);
 
   /// A contiguous migration request for the range-based interface.
   struct MoveRange {
@@ -234,6 +284,23 @@ class Kernel {
   /// all ranges. Returns count() = pages migrated, or error().
   SyscallResult sys_move_pages_ranged(ThreadCtx& t,
                                       std::span<const MoveRange> ranges);
+
+  /// Asynchronous variant of the ranged interface: each range is validated
+  /// and handed to the destination node's kmigrated daemon as one batch;
+  /// the caller pays only the submission cost and returns immediately while
+  /// the copies complete on the daemon's timeline. count() = pages queued
+  /// (dropped/failed pages surface through kern.kmigrated.* counters and
+  /// tracepoints, as with a real async engine). Invalid ranges fail the
+  /// whole call up front, like sys_move_pages_ranged.
+  SyscallResult sys_move_pages_async(ThreadCtx& t,
+                                     std::span<const MoveRange> ranges);
+
+  /// Block until every kmigrated daemon has drained: the calling thread's
+  /// clock advances to the last batch completion (the wait is attributed to
+  /// kLockWait, as any other queueing delay).
+  void kmigrated_drain(ThreadCtx& t);
+
+  const Kmigrated& kmigrated() const { return kmigrated_; }
 
   // --- batched lower-level entry points (used by the runtime so concurrent
   // --- threads interleave at realistic lock granularity) ----------------------
@@ -327,6 +394,11 @@ class Kernel {
     OwnedTimeline mmap_lock;
     OwnedTimeline pt_lock;
     sim::Timeline migration_pipeline;
+    // LockModel::kRange state: the whole-space rwsem (shared by migration
+    // paths, exclusive for mmap surgery) and the per-VMA range locks, keyed
+    // by Vma::lock_id so VMA splits/merges don't orphan lock state.
+    sim::SharedTimeline mmap_rw;
+    std::unordered_map<std::uint64_t, RangeLock> vma_locks;
     ReplicaTable replicas;
   };
 
@@ -438,12 +510,14 @@ class Kernel {
                            Advice advice);
   SyscallResult do_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
                          const vm::MemPolicy& policy, bool move_existing);
-  int do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len, vm::Prot prot,
-                  sim::CostKind attribute);
+  SyscallResult do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                            vm::Prot prot, sim::CostKind attribute);
   SyscallResult do_move_pages_ranged(ThreadCtx& t,
                                      std::span<const MoveRange> ranges);
-  long do_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
-                        topo::NodeMask to);
+  SyscallResult do_move_pages_async(ThreadCtx& t,
+                                    std::span<const MoveRange> ranges);
+  SyscallResult do_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
+                                 topo::NodeMask to);
 
   /// Serialize a batch of `pages` migrations on the process migration
   /// pipeline (the cross-thread critical sections): reserves
@@ -452,6 +526,41 @@ class Kernel {
   /// never extended.
   void serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
                            std::uint64_t pages, sim::Time per_page);
+
+  /// kRange replacement for serialize_migration: reserves an exclusive hold
+  /// on the range locks covering [lo, hi) from `entry` for the pages'
+  /// serialized work plus ONE coalesced TLB-shootdown round (instead of the
+  /// per-page shootdowns baked into the coarse constants). Disjoint ranges
+  /// never queue on each other; overlapping ones pay a lock bounce.
+  void serialize_migration_ranged(ThreadCtx& t, Process& p, vm::Vaddr lo,
+                                  vm::Vaddr hi, sim::Time entry,
+                                  std::uint64_t pages, sim::Time per_page);
+
+  /// Reserve the range locks of every VMA overlapping [lo, hi) for `hold`
+  /// starting no earlier than `start`. Returns the combined slot (start =
+  /// earliest grant, finish = latest). Does not touch the thread clock.
+  sim::Slot range_lock_reserve(ThreadCtx& t, Process& p, vm::Vaddr lo,
+                               vm::Vaddr hi, sim::Time start, sim::Time hold,
+                               bool exclusive);
+
+  /// One coalesced shootdown round for a migrated run of `pages`: bumps the
+  /// shootdown stats/histogram and returns its cost (the caller folds it
+  /// into a serialized hold).
+  sim::Time shootdown_round(std::uint64_t pages);
+
+  /// kmigrated batch execution: validate-free walk of one range, performing
+  /// the page moves with all time charged to `node`'s daemon timeline
+  /// starting at `submit`. Returns pages queued.
+  std::uint64_t submit_kmigrated_batch(ThreadCtx& t, Process& p, vm::Vaddr addr,
+                                       std::uint64_t len, topo::NodeId node,
+                                       sim::Time submit);
+
+  /// Next-touch migrate-ahead (cfg_.nt_async_window > 0): after a next-touch
+  /// fault migrates one page synchronously, hand up to `window` further
+  /// contiguous NT-marked pages of the same VMA to `node`'s kmigrated daemon
+  /// so they arrive before being touched.
+  void nt_migrate_ahead(ThreadCtx& t, Process& p, const vm::Vma& vma,
+                        vm::Vpn fault_vpn, topo::NodeId node);
 
   void deliver_sigsegv(ThreadCtx& t, Process& p, const SigInfo& info,
                        AccessResult& res);
@@ -485,10 +594,13 @@ class Kernel {
   /// hold as `kind`.
   void with_pt_lock(ThreadCtx& t, Process& p, sim::Time hold, sim::CostKind kind);
 
-  const topo::Topology& topo_;
-  CostModel cost_;
+  KernelConfig cfg_;  // owns the topology; declared first so hw_/phys_ may
+                      // reference into it
+  const topo::Topology& topo_{cfg_.topology};
+  CostModel& cost_{cfg_.cost};
   HwState hw_;
   mem::PhysMem phys_;
+  Kmigrated kmigrated_;
   MovePagesImpl move_impl_ = MovePagesImpl::kLinear;
   bool replication_ = false;
   EventLog* elog_ = nullptr;
@@ -499,9 +611,14 @@ class Kernel {
   obs::Histogram* h_migrate_page_ = nullptr;
   obs::Histogram* h_lock_wait_ = nullptr;
   obs::Histogram* h_shootdown_rounds_ = nullptr;
+  obs::Histogram* h_kmigrated_batch_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  std::unique_ptr<FaultInjector> owned_injector_;  // from cfg_.fault_plan
   std::vector<std::unique_ptr<Process>> procs_;
   KernelStats kstats_;
+  // Latest simulated instant any thread has shown the kernel; the
+  // queue-depth gauge evaluates kmigrated in-flight batches against it.
+  sim::Time kmig_now_ = 0;
 };
 
 }  // namespace numasim::kern

@@ -14,9 +14,19 @@ namespace {
 constexpr unsigned kMaxFaultRetries = 8;
 }
 
-Kernel::Kernel(const topo::Topology& topo, mem::Backing backing, CostModel cost,
-               std::uint64_t max_frames_per_node)
-    : topo_(topo), cost_(cost), hw_(topo), phys_(topo, backing, max_frames_per_node) {}
+Kernel::Kernel(KernelConfig cfg)
+    : cfg_(std::move(cfg)),
+      hw_(cfg_.topology),
+      phys_(cfg_.topology, cfg_.backing, cfg_.max_frames_per_node),
+      kmigrated_(cfg_.topology.num_nodes()),
+      move_impl_(cfg_.move_pages_impl),
+      replication_(cfg_.replication) {
+  if (!cfg_.fault_plan.empty()) {
+    owned_injector_ = std::make_unique<FaultInjector>(cfg_.fault_plan,
+                                                      cfg_.fault_seed);
+    set_fault_injector(owned_injector_.get());
+  }
+}
 
 Kernel::~Kernel() { set_metrics(nullptr); }
 
@@ -45,7 +55,8 @@ void Kernel::set_metrics(obs::Registry* reg) {
     metrics_->retire("mem.");
   }
   metrics_ = reg;
-  h_fault_ = h_migrate_page_ = h_lock_wait_ = h_shootdown_rounds_ = nullptr;
+  h_fault_ = h_migrate_page_ = h_lock_wait_ = h_shootdown_rounds_ =
+      h_kmigrated_batch_ = nullptr;
   if (reg == nullptr) return;
 
   reg->bind_counter("kern.minor_faults", &kstats_.minor_faults);
@@ -65,17 +76,29 @@ void Kernel::set_metrics(obs::Registry* reg) {
   reg->bind_counter("kern.shootdown_retries", &kstats_.shootdown_retries);
   reg->bind_counter("kern.signals_delayed", &kstats_.signals_delayed);
   reg->bind_counter("kern.alloc_stalls", &kstats_.alloc_stalls);
+  reg->bind_counter("kern.kmigrated.batches", &kstats_.kmigrated_batches);
+  reg->bind_counter("kern.kmigrated.pages", &kstats_.kmigrated_pages);
+  reg->bind_counter("kern.kmigrated.batches_dropped",
+                    &kstats_.kmigrated_batches_dropped);
+  reg->bind_counter("kern.kmigrated.pages_failed",
+                    &kstats_.kmigrated_pages_failed);
 
   for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
     reg->bind_gauge("mem.used_frames.node" + std::to_string(n), [this, n] {
       return static_cast<std::int64_t>(phys_.used_frames(n));
     });
+    reg->bind_gauge("kern.kmigrated.queue_depth.node" + std::to_string(n),
+                    [this, n] {
+                      return static_cast<std::int64_t>(
+                          kmigrated_.queue_depth(n, kmig_now_));
+                    });
   }
 
   h_fault_ = &reg->histogram("kern.fault_service_ns");
   h_migrate_page_ = &reg->histogram("kern.migrate_page_ns");
   h_lock_wait_ = &reg->histogram("kern.lock_wait_ns");
   h_shootdown_rounds_ = &reg->histogram("kern.shootdown_rounds");
+  h_kmigrated_batch_ = &reg->histogram("kern.kmigrated.batch_latency_ns");
 }
 
 void Kernel::trace_slow(const ThreadCtx& t, EventType type, vm::Vpn vpn,
@@ -267,6 +290,61 @@ void Kernel::serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
                                  std::uint64_t pages, sim::Time per_page) {
   if (pages == 0) return;
   const sim::Slot slot = p.migration_pipeline.reserve(entry, pages * per_page);
+  if (slot.finish > t.clock) {
+    t.stats.add(sim::CostKind::kLockWait, slot.finish - t.clock);
+    note_lock_wait(slot.finish - t.clock);
+    t.clock = slot.finish;
+  }
+}
+
+sim::Slot Kernel::range_lock_reserve(ThreadCtx& t, Process& p, vm::Vaddr lo,
+                                     vm::Vaddr hi, sim::Time start,
+                                     sim::Time hold, bool exclusive) {
+  // Two-phase over every VMA overlapping [lo, hi): each VMA's lock is
+  // reserved independently; the work runs once the *last* grant arrives and
+  // the combined hold ends at the latest finish.
+  sim::Slot out{start, start + hold};
+  vm::Vaddr cur = vm::page_align_down(lo);
+  const vm::Vaddr end = vm::page_align_up(hi);
+  while (cur < end) {
+    const vm::Vma* vma = p.as.find(cur);
+    if (vma == nullptr) {  // unmapped hole: skip page by page
+      cur += mem::kPageSize;
+      continue;
+    }
+    const vm::Vaddr seg_end = std::min(end, vma->end);
+    const sim::Slot s = p.vma_locks[vma->lock_id].reserve(
+        start, hold, vm::vpn_of(cur), vm::vpn_of(seg_end - 1) + 1, exclusive,
+        t.core, cost_.lock_bounce);
+    out.start = std::max(out.start, s.start);
+    out.finish = std::max(out.finish, s.finish);
+    cur = seg_end;
+  }
+  return out;
+}
+
+sim::Time Kernel::shootdown_round(std::uint64_t pages) {
+  sim::Time c = cost_.tlb_shootdown_round(topo_.num_cores(), pages);
+  std::uint64_t rounds = 1;
+  if (injector_ != nullptr && injector_->drop_shootdown()) {
+    c += cost_.tlb_shootdown_resend_wait + cost_.tlb_shootdown(topo_.num_cores());
+    ++kstats_.shootdown_retries;
+    ++rounds;
+  }
+  ++kstats_.tlb_shootdowns;
+  if (h_shootdown_rounds_ != nullptr) h_shootdown_rounds_->record(rounds);
+  return c;
+}
+
+void Kernel::serialize_migration_ranged(ThreadCtx& t, Process& p, vm::Vaddr lo,
+                                        vm::Vaddr hi, sim::Time entry,
+                                        std::uint64_t pages, sim::Time per_page) {
+  if (pages == 0) return;
+  // The run's serialized work plus one coalesced shootdown round, held on
+  // the range locks only — disjoint runs never see each other.
+  const sim::Time hold = pages * per_page + shootdown_round(pages);
+  const sim::Slot slot =
+      range_lock_reserve(t, p, lo, hi, entry, hold, /*exclusive=*/true);
   if (slot.finish > t.clock) {
     t.stats.add(sim::CostKind::kLockWait, slot.finish - t.clock);
     note_lock_wait(slot.finish - t.clock);
@@ -570,6 +648,8 @@ bool Kernel::do_handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr,
     pte.clear(vm::Pte::kNextTouch);
     pte.set(vm::Pte::kAccessed);
     pte.restore_hw(vma->prot);
+    if (cfg_.nt_async_window > 0)
+      nt_migrate_ahead(t, p, *vma, vm::vpn_of(addr), local);
     return false;
   }
 
@@ -635,8 +715,13 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   }
   flush_run();
   flush_copy_batch(t, copies, sim::CostKind::kNextTouchCopy);
-  serialize_migration(t, p, entry, res.nexttouch_migrations,
-                      cost_.nt_serial_per_page);
+  if (cfg_.lock_model == LockModel::kRange) {
+    serialize_migration_ranged(t, p, addr, end, entry, res.nexttouch_migrations,
+                               cost_.nt_range_serial_per_page);
+  } else {
+    serialize_migration(t, p, entry, res.nexttouch_migrations,
+                        cost_.nt_serial_per_page);
+  }
   return res;
 }
 
@@ -705,8 +790,15 @@ AccessResult Kernel::access_strided(ThreadCtx& t, vm::Vaddr base,
     }
   }
   flush_copy_batch(t, copies, sim::CostKind::kNextTouchCopy);
-  serialize_migration(t, p, entry, res.nexttouch_migrations,
-                      cost_.nt_serial_per_page);
+  if (cfg_.lock_model == LockModel::kRange) {
+    serialize_migration_ranged(t, p, base,
+                               base + (rows - 1) * stride_bytes + row_bytes,
+                               entry, res.nexttouch_migrations,
+                               cost_.nt_range_serial_per_page);
+  } else {
+    serialize_migration(t, p, entry, res.nexttouch_migrations,
+                        cost_.nt_serial_per_page);
+  }
   return res;
 }
 

@@ -16,14 +16,29 @@ vm::Vaddr Kernel::sys_mmap(ThreadCtx& t, std::uint64_t len, vm::Prot prot,
                            const vm::MemPolicy& policy, std::string name,
                            bool huge) {
   Process& p = proc(t.pid);
-  charge(t, cost_.syscall_entry + cost_.mmap_base, sim::CostKind::kSyscallEntry);
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  if (cfg_.lock_model == LockModel::kRange) {
+    // Address-space surgery takes the whole-space lock exclusively even in
+    // the scalable model — only migrations scale, not mmap itself.
+    const sim::Slot slot = p.mmap_rw.reserve_exclusive(t.clock, cost_.mmap_base);
+    if (slot.start > t.clock) {
+      t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+      note_lock_wait(slot.start - t.clock);
+    }
+    t.stats.add(sim::CostKind::kSyscallEntry, slot.finish - slot.start);
+    t.clock = slot.finish;
+  } else {
+    charge(t, cost_.mmap_base, sim::CostKind::kSyscallEntry);
+  }
   return p.as.map(len, prot, policy, std::move(name), huge);
 }
 
-int Kernel::sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len) {
+SyscallResult Kernel::sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len) {
   Process& p = proc(t.pid);
   if (len == 0) return -kEINVAL;
-  charge(t, cost_.syscall_entry + cost_.munmap_base, sim::CostKind::kSyscallEntry);
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  if (cfg_.lock_model != LockModel::kRange)
+    charge(t, cost_.munmap_base, sim::CostKind::kSyscallEntry);
 
   // Free the frames, then drop VMAs + PTEs.
   std::uint64_t present = 0;
@@ -37,22 +52,35 @@ int Kernel::sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len) {
     }
   }
   p.as.unmap(addr, len);
-  charge(t, cost_.munmap_page * present + shootdown_cost(t),
-         sim::CostKind::kSyscallEntry);
+  if (cfg_.lock_model == LockModel::kRange) {
+    // One exclusive whole-space hold covers base + teardown + shootdown.
+    const sim::Time work = cost_.munmap_base + cost_.munmap_page * present +
+                           shootdown_cost(t);
+    const sim::Slot slot = p.mmap_rw.reserve_exclusive(t.clock, work);
+    if (slot.start > t.clock) {
+      t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+      note_lock_wait(slot.start - t.clock);
+    }
+    t.stats.add(sim::CostKind::kSyscallEntry, slot.finish - slot.start);
+    t.clock = slot.finish;
+  } else {
+    charge(t, cost_.munmap_page * present + shootdown_cost(t),
+           sim::CostKind::kSyscallEntry);
+  }
   ++kstats_.tlb_shootdowns;
   return 0;
 }
 
-int Kernel::sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
-                         vm::Prot prot, sim::CostKind attribute) {
+SyscallResult Kernel::sys_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                                   vm::Prot prot, sim::CostKind attribute) {
   const sim::Time begin = t.clock;
-  const int r = do_mprotect(t, addr, len, prot, attribute);
+  const SyscallResult r = do_mprotect(t, addr, len, prot, attribute);
   emit_span(t, "sys_mprotect", begin, "kern");
   return r;
 }
 
-int Kernel::do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
-                        vm::Prot prot, sim::CostKind attribute) {
+SyscallResult Kernel::do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
+                                  vm::Prot prot, sim::CostKind attribute) {
   Process& p = proc(t.pid);
   if (len == 0) return -kEINVAL;
   if (!p.as.range_mapped(addr, len)) return -kENOMEM;
@@ -80,7 +108,12 @@ int Kernel::do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
 
   const sim::Time work = cost_.mprotect_base + cost_.mprotect_page * present +
                          shootdown_cost(t);
-  const sim::Slot slot = p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
+  // Protection changes rewrite VMAs, so the scalable model still takes the
+  // whole-space lock exclusively.
+  const sim::Slot slot =
+      cfg_.lock_model == LockModel::kRange
+          ? p.mmap_rw.reserve_exclusive(t.clock, work)
+          : p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
   if (slot.start > t.clock) {
     t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
     note_lock_wait(slot.start - t.clock);
@@ -179,8 +212,17 @@ SyscallResult Kernel::do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len
       trace(t, EventType::kNextTouchMark, vm::vpn_of(addr), marked);
       const sim::Time work = cost_.madvise_base + cost_.madvise_page_mark * marked +
                              shootdown_cost(t);
-      const sim::Slot slot =
-          p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
+      sim::Slot slot;
+      if (cfg_.lock_model == LockModel::kRange) {
+        // Marking only rewrites PTE bits: mmap_sem is taken *shared* and the
+        // serialization happens on the per-VMA range locks, so markers on
+        // disjoint VMAs proceed in parallel.
+        const sim::Slot rd = p.mmap_rw.reserve_shared(t.clock, 0);
+        slot = range_lock_reserve(t, p, addr, addr + len, rd.start, work,
+                                  /*exclusive=*/true);
+      } else {
+        slot = p.mmap_lock.reserve(t.clock, work, t.core, cost_.lock_bounce);
+      }
       if (slot.start > t.clock) {
         t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
         note_lock_wait(slot.start - t.clock);
@@ -234,24 +276,29 @@ SyscallResult Kernel::do_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
     }
   }
   flush_copy_batch(t, copies, sim::CostKind::kMovePagesCopy);
-  serialize_migration(t, p, entry, moved, cost_.move_pages_serial_per_page);
+  if (cfg_.lock_model == LockModel::kRange) {
+    serialize_migration_ranged(t, p, addr, addr + len, entry, moved,
+                               cost_.range_serial_per_page);
+  } else {
+    serialize_migration(t, p, entry, moved, cost_.move_pages_serial_per_page);
+  }
   return 0;
 }
 
-int Kernel::sys_set_mempolicy(ThreadCtx& t, const vm::MemPolicy& policy) {
+SyscallResult Kernel::sys_set_mempolicy(ThreadCtx& t, const vm::MemPolicy& policy) {
   charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
   if (policy.mode != vm::PolicyMode::kDefault && policy.nodes == 0) return -kEINVAL;
   proc(t.pid).task_policy = policy;
   return 0;
 }
 
-int Kernel::sys_get_mempolicy(ThreadCtx& t, vm::MemPolicy& out) {
+SyscallResult Kernel::sys_get_mempolicy(ThreadCtx& t, vm::MemPolicy& out) {
   charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
   out = proc(t.pid).task_policy;
   return 0;
 }
 
-int Kernel::sys_getcpu(ThreadCtx& t, topo::CoreId* core, topo::NodeId* node) {
+SyscallResult Kernel::sys_getcpu(ThreadCtx& t, topo::CoreId* core, topo::NodeId* node) {
   charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
   if (core != nullptr) *core = t.core;
   if (node != nullptr) *node = topo_.node_of_core(t.core);
@@ -267,8 +314,14 @@ void Kernel::move_pages_enter(ThreadCtx& t, std::size_t total_pages) {
   assert(cost_.move_pages_base >= cost_.move_pages_base_locked);
   charge(t, cost_.move_pages_base - cost_.move_pages_base_locked,
          sim::CostKind::kMovePagesControl);
-  const sim::Slot slot = p.mmap_lock.reserve(t.clock, cost_.move_pages_base_locked,
-                                             t.core, cost_.lock_bounce);
+  // Scalable model: migrations only *read* the VMA tree, so mmap_sem is taken
+  // shared — concurrent move_pages callers overlap here and serialize (if at
+  // all) on the per-VMA range locks instead.
+  const sim::Slot slot =
+      cfg_.lock_model == LockModel::kRange
+          ? p.mmap_rw.reserve_shared(t.clock, cost_.move_pages_base_locked)
+          : p.mmap_lock.reserve(t.clock, cost_.move_pages_base_locked, t.core,
+                                cost_.lock_bounce);
   if (slot.start > t.clock) {
     t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
     note_lock_wait(slot.start - t.clock);
@@ -307,9 +360,13 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
   const sim::Time entry = t.clock;
   sim::Time unlocked_total = 0;
   sim::Time locked_total = 0;
+  vm::Vaddr span_lo = ~vm::Vaddr{0};  // chunk page-span for range locking
+  vm::Vaddr span_hi = 0;
 
   for (std::size_t i = 0; i < chunk.size(); ++i) {
     unlocked_total += query_only ? cost_.pte_update : unlocked;
+    span_lo = std::min(span_lo, vm::page_align_down(chunk[i]));
+    span_hi = std::max(span_hi, vm::page_align_down(chunk[i]) + mem::kPageSize);
     const vm::Vma* vma = p.as.find(chunk[i]);
     vm::Pte* pte = p.as.page_table().find(vm::vpn_of(chunk[i]));
     if (vma == nullptr || pte == nullptr || !pte->present()) {
@@ -338,7 +395,24 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
     locked_total += cost_.move_pages_page_locked;
   }
 
-  charge(t, unlocked_total + locked_total, sim::CostKind::kMovePagesControl);
+  if (cfg_.lock_model == LockModel::kRange) {
+    // Unlocked control happens outside any lock; the "locked" share is a
+    // reservation on the range locks of the VMAs this chunk touches, so
+    // chunks over disjoint VMAs overlap instead of convoying on mmap_sem.
+    charge(t, unlocked_total, sim::CostKind::kMovePagesControl);
+    if (locked_total > 0) {
+      const sim::Slot slot = range_lock_reserve(t, p, span_lo, span_hi, t.clock,
+                                                locked_total, /*exclusive=*/true);
+      if (slot.start > t.clock) {
+        t.stats.add(sim::CostKind::kLockWait, slot.start - t.clock);
+        note_lock_wait(slot.start - t.clock);
+      }
+      t.stats.add(sim::CostKind::kMovePagesControl, slot.finish - slot.start);
+      t.clock = slot.finish;
+    }
+  } else {
+    charge(t, unlocked_total + locked_total, sim::CostKind::kMovePagesControl);
+  }
 
   // Isolate→alloc: destination frames come strictly from the requested node
   // (as Linux's new_page_node with __GFP_THISNODE). A failed allocation
@@ -411,7 +485,13 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
   if (!moves.empty())
     trace(t, EventType::kMovePages, vm::vpn_of(chunk[moves.front().i]), moves.size(),
           moves.front().from, moves.front().to);
-  serialize_migration(t, p, entry, moves.size(), cost_.move_pages_serial_per_page);
+  if (cfg_.lock_model == LockModel::kRange) {
+    serialize_migration_ranged(t, p, span_lo, span_hi, entry, moves.size(),
+                               cost_.range_serial_per_page);
+  } else {
+    serialize_migration(t, p, entry, moves.size(),
+                        cost_.move_pages_serial_per_page);
+  }
   if (!sinks_.empty()) {
     obs::TraceEvent e;
     e.kind = obs::TraceEvent::Kind::kSpan;
@@ -433,6 +513,13 @@ SyscallResult Kernel::sys_move_pages(ThreadCtx& t, std::span<const vm::Vaddr> pa
   if (!nodes.empty() && nodes.size() != pages.size()) return -kEINVAL;
   if (status.size() != pages.size()) return -kEINVAL;
   const sim::Time begin = t.clock;
+  if (pages.empty()) {
+    // Linux's nr_pages == 0 fast path returns before taking mmap_sem; the
+    // old model wrongly charged move_pages_base_locked under the lock here.
+    charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+    emit_span(t, "sys_move_pages", begin, "kern");
+    return 0;
+  }
   move_pages_enter(t, pages.size());
   for (std::size_t off = 0; off < pages.size(); off += kSyscallBatchPages) {
     const std::size_t n = std::min(kSyscallBatchPages, pages.size() - off);
@@ -457,8 +544,11 @@ SyscallResult Kernel::do_move_pages_ranged(ThreadCtx& t,
   Process& p = proc(t.pid);
   charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
   // One (cheaper) base: argument copy-in is O(ranges), not O(pages).
-  const sim::Slot base = p.mmap_lock.reserve(
-      t.clock, cost_.move_pages_range_base, t.core, cost_.lock_bounce);
+  const sim::Slot base =
+      cfg_.lock_model == LockModel::kRange
+          ? p.mmap_rw.reserve_shared(t.clock, cost_.move_pages_range_base)
+          : p.mmap_lock.reserve(t.clock, cost_.move_pages_range_base, t.core,
+                                cost_.lock_bounce);
   if (base.start > t.clock) {
     t.stats.add(sim::CostKind::kLockWait, base.start - t.clock);
     note_lock_wait(base.start - t.clock);
@@ -492,8 +582,13 @@ SyscallResult Kernel::do_move_pages_ranged(ThreadCtx& t,
       }
     }
     flush_copy_batch(t, copies, sim::CostKind::kMovePagesCopy);
-    serialize_migration(t, p, entry, batch_moved,
-                        cost_.move_pages_serial_per_page);
+    if (cfg_.lock_model == LockModel::kRange) {
+      serialize_migration_ranged(t, p, r.addr, r.addr + r.len, entry,
+                                 batch_moved, cost_.range_serial_per_page);
+    } else {
+      serialize_migration(t, p, entry, batch_moved,
+                          cost_.move_pages_serial_per_page);
+    }
     moved += static_cast<long>(batch_moved);
     if (tracing() && batch_moved > 0)
       trace(t, EventType::kMovePages, vm::vpn_of(r.addr), batch_moved,
@@ -502,16 +597,16 @@ SyscallResult Kernel::do_move_pages_ranged(ThreadCtx& t,
   return moved;
 }
 
-long Kernel::sys_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
-                               topo::NodeMask to) {
+SyscallResult Kernel::sys_migrate_pages(ThreadCtx& t, Pid target,
+                                        topo::NodeMask from, topo::NodeMask to) {
   const sim::Time begin = t.clock;
-  const long r = do_migrate_pages(t, target, from, to);
+  const SyscallResult r = do_migrate_pages(t, target, from, to);
   emit_span(t, "sys_migrate_pages", begin, "kern");
   return r;
 }
 
-long Kernel::do_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
-                              topo::NodeMask to) {
+SyscallResult Kernel::do_migrate_pages(ThreadCtx& t, Pid target,
+                                       topo::NodeMask from, topo::NodeMask to) {
   if (target >= procs_.size()) return -kESRCH;
   if (from == 0 || to == 0) return -kEINVAL;
   Process& p = proc(target);
@@ -612,8 +707,14 @@ long Kernel::do_migrate_pages(ThreadCtx& t, Pid target, topo::NodeMask from,
       ++migrated;
       ++kstats_.pages_migrated_process;
     }
-    serialize_migration(t, p, entry, batch.size(),
-                        cost_.migrate_pages_serial_per_page);
+    if (cfg_.lock_model == LockModel::kRange) {
+      serialize_migration_ranged(t, p, vm::addr_of(batch.front().first),
+                                 vm::addr_of(batch.back().first) + mem::kPageSize,
+                                 entry, batch.size(), cost_.range_serial_per_page);
+    } else {
+      serialize_migration(t, p, entry, batch.size(),
+                          cost_.migrate_pages_serial_per_page);
+    }
     batch.clear();
   };
 

@@ -1,0 +1,165 @@
+// Kernel-side entry points of the kmigrated async migration engine: batch
+// submission, execution on the daemon timelines, draining, and the
+// next-touch migrate-ahead window.
+#include <algorithm>
+#include <cstring>
+
+#include "kern/kernel.hpp"
+
+namespace numasim::kern {
+
+SyscallResult Kernel::sys_move_pages_async(ThreadCtx& t,
+                                           std::span<const MoveRange> ranges) {
+  const sim::Time begin = t.clock;
+  const SyscallResult r = do_move_pages_async(t, ranges);
+  emit_span(t, "sys_move_pages_async", begin, "kern");
+  return r;
+}
+
+SyscallResult Kernel::do_move_pages_async(ThreadCtx& t,
+                                          std::span<const MoveRange> ranges) {
+  Process& p = proc(t.pid);
+  charge(t, cost_.syscall_entry, sim::CostKind::kSyscallEntry);
+  // Validate every range up front (the whole call fails before anything is
+  // queued, matching sys_move_pages_ranged).
+  for (const MoveRange& r : ranges) {
+    if (r.len == 0) return -kEINVAL;
+    if (r.node >= topo_.num_nodes()) return -kEINVAL;
+    if (!p.as.range_mapped(r.addr, r.len)) return -kEFAULT;
+  }
+  long queued = 0;
+  for (const MoveRange& r : ranges) {
+    charge(t, cost_.kmigrated_submit, sim::CostKind::kMovePagesControl);
+    queued += static_cast<long>(
+        submit_kmigrated_batch(t, p, r.addr, r.len, r.node, t.clock));
+  }
+  return queued;
+}
+
+std::uint64_t Kernel::submit_kmigrated_batch(ThreadCtx& t, Process& p,
+                                             vm::Vaddr addr, std::uint64_t len,
+                                             topo::NodeId node,
+                                             sim::Time submit) {
+  if (kmig_now_ < submit) kmig_now_ = submit;
+  const std::uint64_t npages =
+      vm::vpn_of(vm::page_align_up(addr + len)) - vm::vpn_of(addr);
+  if (injector_ != nullptr && injector_->drop_kmigrated()) {
+    // The batch is lost on the queue: pages stay where they are; the caller
+    // only ever learns through the counters/events (fire-and-forget).
+    ++kstats_.kmigrated_batches_dropped;
+    trace(t, EventType::kKmigratedDrop, vm::vpn_of(addr), npages,
+          topo::kInvalidNode, node);
+    return 0;
+  }
+  trace(t, EventType::kKmigratedSubmit, vm::vpn_of(addr), npages,
+        topo::kInvalidNode, node);
+
+  // The daemon wakes after the IPI latency and no earlier than its previous
+  // batch finished.
+  const sim::Time start =
+      std::max(submit + cost_.kmigrated_wakeup, kmigrated_.node_free_at(node));
+
+  // Page-table mutations are applied eagerly (the simulation has no host
+  // concurrency to race with), but every nanosecond is charged to the
+  // daemon's slot — the submitter's clock never moves here.
+  sim::Time service = cost_.kmigrated_batch_base;
+  sim::Time copy_cursor = start;
+  std::uint64_t moved = 0;
+  const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
+  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
+    vm::Pte* pte = p.as.page_table().find(vpn);
+    if (pte == nullptr || !pte->present() || (pte->flags & vm::Pte::kHuge))
+      continue;
+    const bool was_nt = pte->next_touch();
+    const topo::NodeId from = phys_.node_of(pte->frame);
+    if (from != node) {
+      const mem::FrameId nf = alloc_migration_frame(node);
+      if (nf == mem::kInvalidFrame) {
+        // Per-page ENOMEM degrades just this page; the original mapping is
+        // untouched, so there is nothing to roll back.
+        ++kstats_.kmigrated_pages_failed;
+        ++kstats_.migrations_failed;
+        trace(t, EventType::kMigrateFail, vpn, 1, from, node);
+      } else {
+        service += cost_.move_pages_range_page_control;
+        const sim::Slot c = hw_.copy(copy_cursor, from, node, mem::kPageSize,
+                                     cost_.kernel_copy_bytes_per_us);
+        copy_cursor = c.finish;
+        if (std::byte* dst = phys_.data(nf)) {
+          if (const std::byte* src = phys_.data(pte->frame))
+            std::memcpy(dst, src, mem::kPageSize);
+        }
+        phys_.free(pte->frame);
+        pte->frame = nf;
+        ++moved;
+        ++kstats_.kmigrated_pages;
+      }
+    }
+    if (was_nt) {
+      // The daemon resolves the pending next-touch mark so the eventual
+      // touch is an ordinary access, not a fault.
+      if (const vm::Vma* vma = p.as.find(vm::addr_of(vpn)); vma != nullptr) {
+        pte->clear(vm::Pte::kNextTouch);
+        pte->set(vm::Pte::kAccessed);
+        pte->restore_hw(vma->prot);
+      }
+    }
+  }
+  if (moved > 0) {
+    // One coalesced shootdown round for the whole batch.
+    service += cost_.tlb_shootdown_round(topo_.num_cores(), moved);
+    ++kstats_.tlb_shootdowns;
+  }
+
+  const sim::Time busy_until = std::max(start + service, copy_cursor);
+  const sim::Slot slot = kmigrated_.submit(node, start, busy_until - start);
+  ++kstats_.kmigrated_batches;
+  if (h_kmigrated_batch_ != nullptr)
+    h_kmigrated_batch_->record(slot.finish - submit);
+  if (!sinks_.empty()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kInstant;
+    e.ts = slot.finish;  // stamped at completion, on the daemon's timeline
+    e.pid = t.pid;
+    e.tid = t.tid;
+    e.cat = "kern";
+    e.name = event_type_name(EventType::kKmigratedComplete);
+    e.add_arg("vpn", static_cast<std::int64_t>(vm::vpn_of(addr)))
+        .add_arg("pages", static_cast<std::int64_t>(moved))
+        .add_arg("from", -1)
+        .add_arg("to", static_cast<std::int64_t>(node));
+    emit(e);
+  }
+  return moved;
+}
+
+void Kernel::kmigrated_drain(ThreadCtx& t) {
+  if (kmig_now_ < t.clock) kmig_now_ = t.clock;
+  const sim::Time done = kmigrated_.drained_at();
+  if (done > t.clock) {
+    t.stats.add(sim::CostKind::kLockWait, done - t.clock);
+    note_lock_wait(done - t.clock);
+    t.clock = done;
+    kmig_now_ = done;
+  }
+}
+
+void Kernel::nt_migrate_ahead(ThreadCtx& t, Process& p, const vm::Vma& vma,
+                              vm::Vpn fault_vpn, topo::NodeId node) {
+  // Contiguous run of still-marked next-touch pages right behind the fault,
+  // clipped to the VMA and the configured window.
+  const vm::Vpn vma_end = vm::vpn_of(vma.end);
+  const vm::Vpn first = fault_vpn + 1;
+  vm::Vpn last = first;
+  while (last < vma_end && last - first < cfg_.nt_async_window) {
+    const vm::Pte* pte = p.as.page_table().find(last);
+    if (pte == nullptr || !pte->present() || !pte->next_touch()) break;
+    ++last;
+  }
+  if (last == first) return;
+  charge(t, cost_.kmigrated_submit, sim::CostKind::kNextTouchControl);
+  submit_kmigrated_batch(t, p, vm::addr_of(first),
+                         (last - first) * mem::kPageSize, node, t.clock);
+}
+
+}  // namespace numasim::kern

@@ -29,9 +29,10 @@ int UserNextTouch::mark(kern::ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   if (vma == nullptr) return -kern::kENOMEM;
   const vm::Prot orig = vma->prot;
 
-  const int r = k_.sys_mprotect(t, start, end - start, vm::Prot::kNone,
-                                sim::CostKind::kMprotectMark);
-  if (r < 0) return r;
+  const kern::SyscallResult r = k_.sys_mprotect(t, start, end - start,
+                                                vm::Prot::kNone,
+                                                sim::CostKind::kMprotectMark);
+  if (!r.ok()) return -static_cast<int>(r.error());
   armed_.emplace(start, Region{start, end, granule, orig});
   return 0;
 }
@@ -94,15 +95,15 @@ void UserNextTouch::complete_window(kern::ThreadCtx& t, vm::Vaddr key, vm::Vaddr
   for (vm::Vpn vpn = first; vpn < last; ++vpn) pages.push_back(vm::addr_of(vpn));
   std::vector<topo::NodeId> nodes(pages.size(), target);
   std::vector<int> status(pages.size(), 0);
-  const long r = k_.sys_move_pages(t, pages, nodes, status);
+  const kern::SyscallResult r = k_.sys_move_pages(t, pages, nodes, status);
 
-  // move_pages may fail wholesale (r < 0) or per page (negative status,
+  // move_pages may fail wholesale (!r.ok()) or per page (negative status,
   // e.g. -ENOMEM when the target node is exhausted). Either way the pages
   // are still resident on their source node, so the only correct move is to
   // restore protection and let the access proceed remotely — re-arming (or
   // aborting) here would re-fault the same address forever.
   std::uint64_t failed = 0;
-  if (r < 0) {
+  if (!r.ok()) {
     failed = pages.size();
   } else {
     for (int s : status) (s >= 0 ? ++stats_.pages_moved : ++failed);

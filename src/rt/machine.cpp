@@ -5,8 +5,7 @@
 namespace numasim::rt {
 
 Machine::Machine(Config cfg) : cfg_(std::move(cfg)) {
-  kernel_ = std::make_unique<kern::Kernel>(cfg_.topology, cfg_.backing, cfg_.cost,
-                                           cfg_.max_frames_per_node);
+  kernel_ = std::make_unique<kern::Kernel>(cfg_);
   pid_ = kernel_->create_process("app");
 }
 

@@ -19,14 +19,9 @@ class Thread;
 
 class Machine {
  public:
-  struct Config {
-    topo::Topology topology = topo::Topology::quad_opteron();
-    mem::Backing backing = mem::Backing::kMaterialized;
-    kern::CostModel cost{};
-    /// Clamp per-node frame pools (0 = use topology DRAM capacity). Tests
-    /// use small pools to exercise fallback allocation.
-    std::uint64_t max_frames_per_node = 0;
-  };
+  /// Machine construction *is* kernel construction: one aggregate config
+  /// (topology, cost model, lock model, fault plan, ...) flows through.
+  using Config = kern::KernelConfig;
 
   Machine() : Machine(Config{}) {}
   explicit Machine(Config cfg);

@@ -34,14 +34,15 @@ sim::Task<vm::Vaddr> Thread::mmap(std::uint64_t len, vm::Prot prot,
   co_return a;
 }
 
-sim::Task<int> Thread::munmap(vm::Vaddr addr, std::uint64_t len) {
-  const int r = kernel().sys_munmap(ctx_, addr, len);
+sim::Task<kern::SyscallResult> Thread::munmap(vm::Vaddr addr, std::uint64_t len) {
+  const kern::SyscallResult r = kernel().sys_munmap(ctx_, addr, len);
   co_await m_.engine().resume_at(ctx_.clock);
   co_return r;
 }
 
-sim::Task<int> Thread::mprotect(vm::Vaddr addr, std::uint64_t len, vm::Prot prot) {
-  const int r = kernel().sys_mprotect(ctx_, addr, len, prot);
+sim::Task<kern::SyscallResult> Thread::mprotect(vm::Vaddr addr, std::uint64_t len,
+                                                vm::Prot prot) {
+  const kern::SyscallResult r = kernel().sys_mprotect(ctx_, addr, len, prot);
   co_await m_.engine().resume_at(ctx_.clock);
   co_return r;
 }
@@ -60,8 +61,8 @@ sim::Task<kern::SyscallResult> Thread::mbind(vm::Vaddr addr, std::uint64_t len,
   co_return r;
 }
 
-sim::Task<int> Thread::set_mempolicy(vm::MemPolicy policy) {
-  const int r = kernel().sys_set_mempolicy(ctx_, policy);
+sim::Task<kern::SyscallResult> Thread::set_mempolicy(vm::MemPolicy policy) {
+  const kern::SyscallResult r = kernel().sys_set_mempolicy(ctx_, policy);
   co_await m_.engine().resume_at(ctx_.clock);
   co_return r;
 }
@@ -119,6 +120,12 @@ sim::Task<kern::SyscallResult> Thread::move_pages(
     std::span<int> status) {
   if (!nodes.empty() && nodes.size() != pages.size()) co_return -kern::kEINVAL;
   if (status.size() != pages.size()) co_return -kern::kEINVAL;
+  if (pages.empty()) {
+    // Mirror the kernel's nr_pages == 0 fast path (no mmap_sem, no base).
+    const kern::SyscallResult r = kernel().sys_move_pages(ctx_, pages, nodes, status);
+    co_await m_.engine().resume_at(ctx_.clock);
+    co_return r;
+  }
   kernel().move_pages_enter(ctx_, pages.size());
   co_await m_.engine().resume_at(ctx_.clock);
   for (std::size_t off = 0; off < pages.size(); off += kChunkPages) {
@@ -131,8 +138,9 @@ sim::Task<kern::SyscallResult> Thread::move_pages(
   co_return 0;
 }
 
-sim::Task<long> Thread::move_range(vm::Vaddr addr, std::uint64_t len,
-                                   topo::NodeId node) {
+sim::Task<kern::SyscallResult> Thread::move_range(vm::Vaddr addr,
+                                                  std::uint64_t len,
+                                                  topo::NodeId node) {
   const vm::Vpn first = vm::vpn_of(addr);
   const vm::Vpn last = vm::vpn_of(addr + len - 1) + 1;
   std::vector<vm::Vaddr> pages;
@@ -141,18 +149,34 @@ sim::Task<long> Thread::move_range(vm::Vaddr addr, std::uint64_t len,
   std::vector<topo::NodeId> nodes(pages.size(), node);
   std::vector<int> status(pages.size(), 0);
   const kern::SyscallResult r = co_await move_pages(pages, nodes, status);
-  if (!r.ok()) co_return static_cast<long>(r);
+  if (!r.ok()) co_return r;
   long moved = 0;
   for (int s : status)
     if (s >= 0) ++moved;
   co_return moved;
 }
 
-sim::Task<long> Thread::migrate_pages(kern::Pid target, topo::NodeMask from,
-                                      topo::NodeMask to) {
-  const long r = kernel().sys_migrate_pages(ctx_, target, from, to);
+sim::Task<kern::SyscallResult> Thread::migrate_pages(kern::Pid target,
+                                                     topo::NodeMask from,
+                                                     topo::NodeMask to) {
+  const kern::SyscallResult r = kernel().sys_migrate_pages(ctx_, target, from, to);
   co_await m_.engine().resume_at(ctx_.clock);
   co_return r;
+}
+
+sim::Task<kern::SyscallResult> Thread::move_range_async(vm::Vaddr addr,
+                                                        std::uint64_t len,
+                                                        topo::NodeId node) {
+  const kern::Kernel::MoveRange r{addr, len, node};
+  const kern::SyscallResult res =
+      kernel().sys_move_pages_async(ctx_, std::span{&r, 1});
+  co_await m_.engine().resume_at(ctx_.clock);
+  co_return res;
+}
+
+sim::Task<void> Thread::kmigrated_drain() {
+  kernel().kmigrated_drain(ctx_);
+  co_await m_.engine().resume_at(ctx_.clock);
 }
 
 sim::Task<void> Thread::barrier(sim::Barrier& b) {

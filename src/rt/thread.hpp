@@ -77,13 +77,14 @@ class Thread {
   // --- memory mapping ---------------------------------------------------------
   sim::Task<vm::Vaddr> mmap(std::uint64_t len, vm::Prot prot = vm::Prot::kReadWrite,
                             vm::MemPolicy policy = {}, std::string name = {});
-  sim::Task<int> munmap(vm::Vaddr addr, std::uint64_t len);
-  sim::Task<int> mprotect(vm::Vaddr addr, std::uint64_t len, vm::Prot prot);
+  sim::Task<kern::SyscallResult> munmap(vm::Vaddr addr, std::uint64_t len);
+  sim::Task<kern::SyscallResult> mprotect(vm::Vaddr addr, std::uint64_t len,
+                                          vm::Prot prot);
   sim::Task<kern::SyscallResult> madvise(vm::Vaddr addr, std::uint64_t len,
                                          kern::Advice advice);
   sim::Task<kern::SyscallResult> mbind(vm::Vaddr addr, std::uint64_t len,
                                        vm::MemPolicy policy);
-  sim::Task<int> set_mempolicy(vm::MemPolicy policy);
+  sim::Task<kern::SyscallResult> set_mempolicy(vm::MemPolicy policy);
 
   // --- data plane --------------------------------------------------------------
   /// Touch [addr, addr+len) (chunked). `stream_rate` in bytes/us; pass 0 to
@@ -110,10 +111,22 @@ class Thread {
                                             std::span<int> status);
 
   /// Convenience: synchronously migrate a whole range to `node`.
-  sim::Task<long> move_range(vm::Vaddr addr, std::uint64_t len, topo::NodeId node);
+  /// count() = pages landed on `node`.
+  sim::Task<kern::SyscallResult> move_range(vm::Vaddr addr, std::uint64_t len,
+                                            topo::NodeId node);
 
-  sim::Task<long> migrate_pages(kern::Pid target, topo::NodeMask from,
-                                topo::NodeMask to);
+  sim::Task<kern::SyscallResult> migrate_pages(kern::Pid target,
+                                               topo::NodeMask from,
+                                               topo::NodeMask to);
+
+  /// Async ranged migration: queue [addr, addr+len) -> node on the
+  /// destination's kmigrated daemon. count() = pages queued.
+  sim::Task<kern::SyscallResult> move_range_async(vm::Vaddr addr,
+                                                  std::uint64_t len,
+                                                  topo::NodeId node);
+
+  /// Wait until every kmigrated daemon has drained.
+  sim::Task<void> kmigrated_drain();
 
   // --- synchronization -------------------------------------------------------------
   sim::Task<void> barrier(sim::Barrier& b);

@@ -43,6 +43,41 @@ class Timeline {
   Time free_at_ = 0;
 };
 
+/// Reader/writer serially-reusable resource (an rwsem). Shared holds overlap
+/// freely with each other; an exclusive hold waits for every outstanding hold
+/// and blocks all later arrivals until it finishes. Like Timeline this keeps
+/// only "next free instant" summaries, so it is O(1) per reservation.
+class SharedTimeline {
+ public:
+  /// Reserve a shared (reader) hold of `hold` ns starting no earlier than
+  /// `now`. Readers queue only behind writers.
+  Slot reserve_shared(Time now, Time hold) {
+    const Time start = now > excl_free_at_ ? now : excl_free_at_;
+    const Time finish = start + hold;
+    if (finish > shared_free_at_) shared_free_at_ = finish;
+    return {start, finish};
+  }
+
+  /// Reserve an exclusive (writer) hold: waits for all readers and writers.
+  Slot reserve_exclusive(Time now, Time hold) {
+    Time start = now > excl_free_at_ ? now : excl_free_at_;
+    if (shared_free_at_ > start) start = shared_free_at_;
+    excl_free_at_ = start + hold;
+    return {start, excl_free_at_};
+  }
+
+  /// Next instant at which no hold (of either kind) is outstanding.
+  Time free_at() const {
+    return excl_free_at_ > shared_free_at_ ? excl_free_at_ : shared_free_at_;
+  }
+
+  void reset() { excl_free_at_ = shared_free_at_ = 0; }
+
+ private:
+  Time excl_free_at_ = 0;    // last writer's finish
+  Time shared_free_at_ = 0;  // latest reader finish
+};
+
 /// A store-and-forward bandwidth pipe: transfers serialize, each taking
 /// latency + bytes/rate. Concurrent users share the aggregate bandwidth by
 /// queueing, which matches how sustained streams share a memory link.

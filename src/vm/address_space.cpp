@@ -25,6 +25,7 @@ Vaddr AddressSpace::map(std::uint64_t len, Prot prot, const MemPolicy& policy,
   vma.prot = prot;
   vma.policy = policy;
   vma.pgoff_base = vpn_of(start);
+  vma.lock_id = next_lock_id_++;
   vma.name = std::move(name);
   vmas_.emplace(start, std::move(vma));
   return start;
@@ -108,7 +109,8 @@ void AddressSpace::merge_adjacent() {
     Vma& a = it->second;
     const Vma& b = next->second;
     if (a.end == b.start && a.prot == b.prot && a.policy == b.policy &&
-        a.pgoff_base == b.pgoff_base && a.huge == b.huge && a.name == b.name) {
+        a.pgoff_base == b.pgoff_base && a.huge == b.huge &&
+        a.lock_id == b.lock_id && a.name == b.name) {
       a.end = b.end;
       vmas_.erase(next);
     } else {

@@ -37,6 +37,11 @@ struct Vma {
   Vpn pgoff_base = 0;
   /// 2 MiB huge mapping (MAP_HUGETLB): populated block-wise, not migratable.
   bool huge = false;
+  /// Identity of the range lock covering this VMA (LockModel::kRange).
+  /// Assigned once per map() call; splits inherit it, so every fragment of an
+  /// original mapping shares one lock — conflicts are decided by page range,
+  /// not by VMA boundary churn.
+  std::uint64_t lock_id = 0;
   std::string name;
 
   std::uint64_t pages() const { return (end - start) >> mem::kPageShift; }
@@ -90,6 +95,7 @@ class AddressSpace {
   std::map<Vaddr, Vma> vmas_;  // keyed by start
   PageTable pt_;
   Vaddr next_addr_ = kMmapBase;
+  std::uint64_t next_lock_id_ = 1;
 };
 
 }  // namespace numasim::vm

@@ -11,7 +11,7 @@ namespace {
 class EventLogTest : public ::testing::Test {
  protected:
   EventLogTest()
-      : topo_(topo::Topology::quad_opteron()), k_(topo_, mem::Backing::kPhantom) {
+      : topo_(topo::Topology::quad_opteron()), k_(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom}) {
     pid_ = k_.create_process();
     k_.set_event_log(&log_);
   }

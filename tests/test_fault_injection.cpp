@@ -5,7 +5,9 @@
 // identical (plan, seed) pair must replay an identical event schedule.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "kern/fault_injector.hpp"
@@ -19,7 +21,8 @@ class FaultInjectionTest : public ::testing::Test {
  protected:
   FaultInjectionTest()
       : topo_(topo::Topology::quad_opteron()),
-        k_(topo_, mem::Backing::kMaterialized, {}, /*max_frames_per_node=*/256) {
+        k_(KernelConfig{.topology = topo_, .backing = mem::Backing::kMaterialized,
+           .max_frames_per_node = 256}) {
     pid_ = k_.create_process("finj");
   }
 
@@ -234,15 +237,15 @@ TEST_F(FaultInjectionTest, RangedInterfaceAndMbindSurviveCopyFailures) {
   FaultInjector inj(FaultPlan::parse("copy:pt=0.5,pp=0.1"), 2024);
   k_.set_fault_injector(&inj);
   const std::vector<Kernel::MoveRange> ranges{{a, 16 * mem::kPageSize, 2}};
-  const long moved = k_.sys_move_pages_ranged(t, ranges);
-  EXPECT_GE(moved, 0);
+  const SyscallResult moved = k_.sys_move_pages_ranged(t, ranges);
+  EXPECT_TRUE(moved.ok());
   k_.sys_mbind(t, b, 16 * mem::kPageSize,
                vm::MemPolicy::bind(topo::node_mask_of(3)), /*move_existing=*/true);
   k_.set_fault_injector(nullptr);
 
   // Whatever failed stayed put; whatever moved is where it was asked to go.
   EXPECT_EQ(k_.pages_on_node(pid_, a, 16 * mem::kPageSize, 2),
-            static_cast<std::uint64_t>(moved));
+            static_cast<std::uint64_t>(moved.count()));
   k_.validate(pid_);
 }
 
@@ -252,14 +255,14 @@ TEST_F(FaultInjectionTest, MigratePagesSurvivesExhaustedDestination) {
 
   FaultInjector inj(FaultPlan::parse("cap:node=1,frames=6"), 5);
   k_.set_fault_injector(&inj);
-  const long moved = k_.sys_migrate_pages(t, pid_, topo::node_mask_of(0),
-                                          topo::node_mask_of(1));
+  const SyscallResult moved = k_.sys_migrate_pages(
+      t, pid_, topo::node_mask_of(0), topo::node_mask_of(1));
   k_.set_fault_injector(nullptr);
 
   // Only the frames below the cap can land on node 1; the rest stay on 0,
   // nothing leaks. (A min watermark of zero lets all 6 be used.)
-  EXPECT_GE(moved, 0);
-  EXPECT_LE(moved, 6);
+  EXPECT_TRUE(moved.ok());
+  EXPECT_LE(moved.count(), 6);
   EXPECT_EQ(k_.phys().used_frames(0) + k_.phys().used_frames(1), 16u);
   EXPECT_GT(k_.stats().migrations_failed, 0u);
   k_.validate(pid_);
@@ -395,7 +398,8 @@ TEST_F(FaultInjectionTest, UserFaultsStallButNeverFail) {
 
 std::string run_faulty_workload(std::uint64_t seed) {
   const topo::Topology topo = topo::Topology::quad_opteron();
-  Kernel k(topo, mem::Backing::kPhantom, {}, /*max_frames_per_node=*/256);
+  Kernel k(KernelConfig{.topology = topo, .backing = mem::Backing::kPhantom,
+                       .max_frames_per_node = 256});
   const Pid pid = k.create_process("replay");
   EventLog log(16384);
   k.set_event_log(&log);
@@ -439,7 +443,8 @@ TEST(FaultInjectionDeterminism, EmptyPlanMatchesNoInjectorExactly) {
   // event stream, no randomness consumed.
   const topo::Topology topo = topo::Topology::quad_opteron();
   auto run = [&](bool attach) {
-    Kernel k(topo, mem::Backing::kPhantom, {}, 256);
+    Kernel k(KernelConfig{.topology = topo, .backing = mem::Backing::kPhantom,
+                         .max_frames_per_node = 256});
     const Pid pid = k.create_process();
     EventLog log(16384);
     k.set_event_log(&log);
@@ -460,6 +465,81 @@ TEST(FaultInjectionDeterminism, EmptyPlanMatchesNoInjectorExactly) {
     return log.to_csv();
   };
   EXPECT_EQ(run(false), run(true));
+}
+
+// --- kmigrated (async migration daemons) under faults ------------------------
+
+TEST_F(FaultInjectionTest, KmigratedDroppedBatchLeavesPagesResident) {
+  ThreadCtx t = ctx_on(0);
+  const vm::Vaddr a = make_region(t, 8, 0);
+
+  FaultInjector inj(FaultPlan::parse("kmigrated:p=1"), 7);
+  k_.set_fault_injector(&inj);
+  const Kernel::MoveRange r{a, 8 * mem::kPageSize, 2};
+  const SyscallResult res = k_.sys_move_pages_async(t, std::span{&r, 1});
+  k_.kmigrated_drain(t);
+  k_.set_fault_injector(nullptr);
+
+  // Fire-and-forget: the submit succeeds but the batch dies on the queue, so
+  // nothing moved and the loss is only visible through the counters.
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.count(), 0);
+  EXPECT_EQ(k_.stats().kmigrated_batches_dropped, 1u);
+  EXPECT_EQ(k_.stats().kmigrated_batches, 0u);
+  EXPECT_EQ(k_.stats().kmigrated_pages, 0u);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, 8 * mem::kPageSize, 0), 8u);
+  EXPECT_EQ(inj.counters().kmigrated_dropped, 1u);
+  k_.validate(pid_);
+}
+
+TEST_F(FaultInjectionTest, KmigratedEnomemMidBatchMovesOnlyWhatFits) {
+  ThreadCtx t = ctx_on(0);
+  // Leave exactly 4 free frames on node 2, then async-migrate 8 pages in:
+  // the daemon degrades per page, exactly like synchronous move_pages.
+  const std::uint64_t cap = k_.phys().capacity_frames(2);
+  make_region(t, cap - 4, 2);
+  const vm::Vaddr a = make_region(t, 8, 0);
+
+  const Kernel::MoveRange r{a, 8 * mem::kPageSize, 2};
+  const SyscallResult res = k_.sys_move_pages_async(t, std::span{&r, 1});
+  k_.kmigrated_drain(t);
+
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.count(), 4);
+  EXPECT_EQ(k_.stats().kmigrated_batches, 1u);
+  EXPECT_EQ(k_.stats().kmigrated_pages, 4u);
+  EXPECT_EQ(k_.stats().kmigrated_pages_failed, 4u);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, 8 * mem::kPageSize, 2), 4u);
+  EXPECT_EQ(k_.pages_on_node(pid_, a, 8 * mem::kPageSize, 0), 4u);
+  k_.validate(pid_);
+}
+
+TEST(KmigratedDeterminism, ConfigFaultPlanReplaysIdentically) {
+  // The KernelConfig fault-plan path (kernel-owned injector) must be as
+  // reproducible as an external injector: same seed, same event stream.
+  const topo::Topology topo = topo::Topology::quad_opteron();
+  auto run = [&] {
+    Kernel k(KernelConfig{.topology = topo, .backing = mem::Backing::kPhantom,
+                          .fault_plan = FaultPlan::parse("kmigrated:p=0.5"),
+                          .fault_seed = 42});
+    const Pid pid = k.create_process();
+    EventLog log(16384);
+    k.set_event_log(&log);
+    ThreadCtx t;
+    t.pid = pid;
+    const std::uint64_t len = 16 * mem::kPageSize;
+    const vm::Vaddr a = k.sys_mmap(t, len, vm::Prot::kReadWrite,
+                                   vm::MemPolicy::bind(topo::node_mask_of(0)));
+    k.access(t, a, len, vm::Prot::kWrite, 3500.0);
+    for (int i = 0; i < 4; ++i) {
+      const Kernel::MoveRange r{a, len, static_cast<topo::NodeId>(1 + i % 3)};
+      k.sys_move_pages_async(t, std::span{&r, 1});
+    }
+    k.kmigrated_drain(t);
+    k.validate(pid);
+    return log.to_csv() + std::to_string(k.stats().kmigrated_batches_dropped);
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace

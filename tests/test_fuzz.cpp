@@ -22,7 +22,8 @@ class Fuzzer {
   Fuzzer(std::uint64_t seed, mem::Backing backing,
          std::string_view fault_spec = {})
       : topo_(topo::Topology::quad_opteron()),
-        k_(topo_, backing, {}, /*max_frames_per_node=*/4096),
+        k_(kern::KernelConfig{.topology = topo_, .backing = backing,
+                             .max_frames_per_node = 4096}),
         rng_(seed) {
     k_.set_replication_enabled(true);
     if (!fault_spec.empty()) {

@@ -16,7 +16,7 @@ constexpr std::uint64_t kHugePages = kHugeSize / mem::kPageSize;
 class HugePageTest : public ::testing::Test {
  protected:
   HugePageTest()
-      : topo_(topo::Topology::quad_opteron()), k_(topo_, mem::Backing::kPhantom) {
+      : topo_(topo::Topology::quad_opteron()), k_(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom}) {
     pid_ = k_.create_process("huge");
   }
 

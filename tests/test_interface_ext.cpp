@@ -12,7 +12,7 @@ namespace {
 class InterfaceExtTest : public ::testing::Test {
  protected:
   InterfaceExtTest()
-      : topo_(topo::Topology::quad_opteron()), k_(topo_, mem::Backing::kPhantom) {
+      : topo_(topo::Topology::quad_opteron()), k_(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom}) {
     pid_ = k_.create_process();
   }
 
@@ -65,7 +65,7 @@ TEST_F(InterfaceExtTest, RangedInterfaceIsFasterThanPerPage) {
   k_.sys_move_pages(t1, pages, nodes, status);
   const sim::Time classic = t1.clock - c0;
 
-  kern::Kernel k2(topo_, mem::Backing::kPhantom);
+  kern::Kernel k2(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom});
   const Pid pid2 = k2.create_process();
   ThreadCtx t2;
   t2.pid = pid2;

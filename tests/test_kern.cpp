@@ -18,7 +18,7 @@ class KernelTest : public ::testing::Test {
  protected:
   KernelTest()
       : topo_(topo::Topology::quad_opteron()),
-        k_(topo_, mem::Backing::kMaterialized) {
+        k_(KernelConfig{.topology = topo_, .backing = mem::Backing::kMaterialized}) {
     pid_ = k_.create_process("test");
   }
 
@@ -185,9 +185,10 @@ TEST_F(KernelTest, MigratePagesMovesWholeProcess) {
   k_.access(t, b, len, vm::Prot::kWrite, 3500.0);
   ASSERT_EQ(k_.pages_on_node(pid_, a, len, 0), 32u);
 
-  const long moved = k_.sys_migrate_pages(t, pid_, topo::node_mask_of(0),
-                                          topo::node_mask_of(2));
-  EXPECT_EQ(moved, 64);
+  const SyscallResult moved = k_.sys_migrate_pages(
+      t, pid_, topo::node_mask_of(0), topo::node_mask_of(2));
+  EXPECT_TRUE(moved.ok());
+  EXPECT_EQ(moved.count(), 64);
   EXPECT_EQ(k_.pages_on_node(pid_, a, len, 2), 32u);
   EXPECT_EQ(k_.pages_on_node(pid_, b, len, 2), 32u);
   EXPECT_EQ(k_.stats().pages_migrated_process, 64u);
@@ -407,7 +408,8 @@ TEST_F(KernelTest, AccessStridedFaultsAndCharges) {
 }
 
 TEST_F(KernelTest, AllocationFallsBackWhenNodeFull) {
-  Kernel small(topo_, mem::Backing::kPhantom, {}, /*max_frames_per_node=*/4);
+  Kernel small(KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom,
+                           .max_frames_per_node = 4});
   const Pid pid = small.create_process();
   ThreadCtx t;
   t.pid = pid;
@@ -503,6 +505,20 @@ INSTANTIATE_TEST_SUITE_P(
     SizesAndCores, NextTouchProperty,
     ::testing::Combine(::testing::Values(1, 7, 64, 200),
                        ::testing::Values(0u, 2u, 5u, 10u, 15u)));
+
+// --- move_pages nr_pages == 0 fast path --------------------------------------
+
+TEST_F(KernelTest, MovePagesEmptyArrayReturnsBeforeMmapSem) {
+  // Linux's sys_move_pages returns for nr_pages == 0 before taking mmap_sem;
+  // the simulation must charge only the syscall entry, never
+  // move_pages_base_locked (which the old model wrongly billed here).
+  ThreadCtx t = ctx_on(0);
+  const sim::Time t0 = t.clock;
+  const SyscallResult r = k_.sys_move_pages(t, {}, {}, {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.count(), 0);
+  EXPECT_EQ(t.clock - t0, k_.cost().syscall_entry);
+}
 
 }  // namespace
 }  // namespace numasim::kern

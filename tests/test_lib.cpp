@@ -16,7 +16,7 @@ namespace {
 class LibTest : public ::testing::Test {
  protected:
   LibTest() : topo_(topo::Topology::quad_opteron()),
-              k_(topo_, mem::Backing::kMaterialized) {
+              k_(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kMaterialized}) {
     pid_ = k_.create_process("lib-test");
   }
 

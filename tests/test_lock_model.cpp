@@ -1,0 +1,269 @@
+// Tests for the scalable migration engine: the SharedTimeline rwsem and
+// per-VMA RangeLock primitives, kCoarse/kRange equivalence on a single
+// thread, determinism of both models, parallel scaling of the range engine,
+// and the kmigrated async daemons.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kern/hw_state.hpp"
+#include "kern/kernel.hpp"
+#include "rt/team.hpp"
+#include "sim/resource.hpp"
+
+namespace numasim {
+namespace {
+
+kern::KernelConfig phantom_cfg(kern::LockModel model) {
+  kern::KernelConfig cfg;
+  cfg.backing = mem::Backing::kPhantom;
+  cfg.lock_model = model;
+  return cfg;
+}
+
+// --- SharedTimeline (mmap_sem as a reader/writer resource) -------------------
+
+TEST(SharedTimeline, ReadersOverlap) {
+  sim::SharedTimeline rw;
+  const sim::Slot a = rw.reserve_shared(0, 100);
+  const sim::Slot b = rw.reserve_shared(10, 100);
+  EXPECT_EQ(a.start, 0u);
+  EXPECT_EQ(b.start, 10u);  // not queued behind the first reader
+  EXPECT_EQ(rw.free_at(), 110u);
+}
+
+TEST(SharedTimeline, WriterWaitsForAllReaders) {
+  sim::SharedTimeline rw;
+  rw.reserve_shared(0, 100);
+  rw.reserve_shared(0, 250);
+  const sim::Slot w = rw.reserve_exclusive(50, 40);
+  EXPECT_EQ(w.start, 250u);
+  EXPECT_EQ(w.finish, 290u);
+}
+
+TEST(SharedTimeline, ReadersQueueBehindWriter) {
+  sim::SharedTimeline rw;
+  rw.reserve_exclusive(0, 100);
+  const sim::Slot r = rw.reserve_shared(10, 20);
+  EXPECT_EQ(r.start, 100u);
+}
+
+// --- RangeLock (per-VMA page-interval locks) ---------------------------------
+
+TEST(RangeLock, DisjointRangesProceedInParallel) {
+  kern::RangeLock rl;
+  const sim::Slot a = rl.reserve(0, 100, 0, 16, /*exclusive=*/true, 0, 1500);
+  const sim::Slot b = rl.reserve(0, 100, 16, 32, /*exclusive=*/true, 1, 1500);
+  EXPECT_EQ(a.start, 0u);
+  EXPECT_EQ(b.start, 0u);       // no conflict: starts immediately...
+  EXPECT_EQ(b.finish, 100u);    // ...and pays no ownership bounce.
+}
+
+TEST(RangeLock, OverlappingExclusiveQueuesWithBounce) {
+  kern::RangeLock rl;
+  const sim::Slot a = rl.reserve(0, 100, 0, 16, /*exclusive=*/true, 0, 1500);
+  const sim::Slot b = rl.reserve(0, 100, 8, 24, /*exclusive=*/true, 1, 1500);
+  EXPECT_EQ(b.start, a.finish);         // queued behind the overlapping hold
+  EXPECT_EQ(b.finish, a.finish + 1600); // + cacheline bounce on owner change
+}
+
+TEST(RangeLock, ReaderReaderOverlapIsFree) {
+  kern::RangeLock rl;
+  rl.reserve(0, 100, 0, 16, /*exclusive=*/false, 0, 1500);
+  const sim::Slot b = rl.reserve(0, 100, 0, 16, /*exclusive=*/false, 1, 1500);
+  EXPECT_EQ(b.start, 0u);
+  EXPECT_EQ(b.finish, 100u);
+}
+
+TEST(RangeLock, SameOwnerHoldsCoalesce) {
+  kern::RangeLock rl;
+  for (std::uint64_t i = 0; i < 32; ++i)
+    rl.reserve(i * 10, 10, i * 16, (i + 1) * 16, /*exclusive=*/true, 0, 1500);
+  // Adjacent same-owner/same-mode holds merge instead of accreting.
+  EXPECT_EQ(rl.live_holds(), 1u);
+}
+
+// --- single-thread equivalence and determinism -------------------------------
+
+/// A representative single-thread workload: allocate, first-touch, migrate
+/// with move_pages, arm next-touch and fault it over from another core,
+/// mprotect and unmap. Returns the final clock; `csv` gets the event log.
+sim::Time st_workload(kern::Kernel& k, std::string* csv) {
+  kern::EventLog log(16384);
+  k.set_event_log(&log);
+  const kern::Pid pid = k.create_process("eq");
+  kern::ThreadCtx t;
+  t.pid = pid;
+  t.core = 0;
+  const std::uint64_t len = 96 * mem::kPageSize;
+  const vm::Vaddr a = k.sys_mmap(t, len, vm::Prot::kReadWrite,
+                                 vm::MemPolicy::bind(topo::node_mask_of(0)));
+  k.access(t, a, len, vm::Prot::kWrite, 3500.0);
+
+  std::vector<vm::Vaddr> pages;
+  for (std::uint64_t i = 0; i < len / 2; i += mem::kPageSize)
+    pages.push_back(a + i);
+  std::vector<topo::NodeId> nodes(pages.size(), 1);
+  std::vector<int> status(pages.size(), 0);
+  EXPECT_TRUE(k.sys_move_pages(t, pages, nodes, status).ok());
+
+  EXPECT_TRUE(k.sys_madvise(t, a, len, kern::Advice::kMigrateOnNextTouch).ok());
+  t.core = 4;  // node 1 touches: every page migrates over
+  k.access(t, a, len, vm::Prot::kRead, 3500.0);
+
+  // Back on the original core: the coarse model's mmap_lock charges a
+  // cacheline bounce on owner change — a contention artifact the range
+  // engine deliberately does not have — so the equivalence claim is for a
+  // thread that keeps its lock-owning core.
+  t.core = 0;
+  EXPECT_TRUE(k.sys_mprotect(t, a, len / 4, vm::Prot::kRead).ok());
+  EXPECT_TRUE(k.sys_munmap(t, a, len).ok());
+  *csv = log.to_csv();
+  k.set_event_log(nullptr);
+  return t.clock;
+}
+
+TEST(LockModelEquivalence, SingleThreadRangeMatchesCoarseEventForEvent) {
+  std::string csv_coarse, csv_range;
+  kern::Kernel coarse(phantom_cfg(kern::LockModel::kCoarse));
+  kern::Kernel range(phantom_cfg(kern::LockModel::kRange));
+  const sim::Time t_coarse = st_workload(coarse, &csv_coarse);
+  const sim::Time t_range = st_workload(range, &csv_range);
+  EXPECT_EQ(csv_coarse, csv_range);
+  EXPECT_EQ(t_coarse, t_range);
+}
+
+/// Fig. 7 workload: `nthreads` workers on node 1 each move_pages their own
+/// chunk of a node-0 buffer. Returns the fork-to-join span; `csv` (optional)
+/// gets the run's event log for determinism checks.
+sim::Time mt_migrate_span(kern::LockModel model, std::uint64_t npages,
+                          unsigned nthreads, std::string* csv = nullptr) {
+  rt::Machine m(phantom_cfg(model));
+  kern::EventLog log(1 << 18);
+  if (csv != nullptr) m.kernel().set_event_log(&log);
+  sim::Time span = 0;
+  m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    const std::uint64_t len = npages * mem::kPageSize;
+    const vm::Vaddr buf = co_await th.mmap(
+        len, vm::Prot::kReadWrite, vm::MemPolicy::bind(topo::node_mask_of(0)));
+    co_await th.touch(buf, len);
+    rt::Team team = rt::Team::node_cores(m, 1, nthreads);
+    const std::uint64_t chunk = npages / nthreads;
+    rt::Team::WorkerFn worker = [&, chunk, buf](unsigned tid,
+                                                rt::Thread& w) -> sim::Task<void> {
+      co_await w.move_range(buf + tid * chunk * mem::kPageSize,
+                            chunk * mem::kPageSize, 1);
+    };
+    co_await team.parallel(th, std::move(worker));
+    span = team.last_span();
+  });
+  if (csv != nullptr) {
+    *csv = log.to_csv();
+    m.kernel().set_event_log(nullptr);
+  }
+  return span;
+}
+
+TEST(LockModelDeterminism, RepeatedRunsAreByteIdentical) {
+  for (const kern::LockModel model :
+       {kern::LockModel::kCoarse, kern::LockModel::kRange}) {
+    std::string csv1, csv2;
+    const sim::Time s1 = mt_migrate_span(model, 512, 4, &csv1);
+    const sim::Time s2 = mt_migrate_span(model, 512, 4, &csv2);
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(csv1, csv2);
+  }
+}
+
+TEST(LockModelScaling, RangeEngineScalesSyncMigration) {
+  const sim::Time r1 = mt_migrate_span(kern::LockModel::kRange, 2048, 1);
+  const sim::Time r4 = mt_migrate_span(kern::LockModel::kRange, 2048, 4);
+  // Aggregate throughput over the same buffer: span ratio == speedup.
+  EXPECT_GE(static_cast<double>(r1) / static_cast<double>(r4), 2.5);
+
+  // The coarse model plateaus: the range engine must beat it at 4 threads.
+  const sim::Time c4 = mt_migrate_span(kern::LockModel::kCoarse, 2048, 4);
+  EXPECT_LT(r4, c4);
+
+  // With one thread the two engines are indistinguishable.
+  const sim::Time c1 = mt_migrate_span(kern::LockModel::kCoarse, 2048, 1);
+  EXPECT_EQ(r1, c1);
+}
+
+// --- kmigrated async daemons -------------------------------------------------
+
+TEST(Kmigrated, AsyncMoveRangeCompletesAfterDrain) {
+  rt::Machine m(phantom_cfg(kern::LockModel::kRange));
+  const std::uint64_t npages = 64;
+  m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    const std::uint64_t len = npages * mem::kPageSize;
+    const vm::Vaddr buf = co_await th.mmap(
+        len, vm::Prot::kReadWrite, vm::MemPolicy::bind(topo::node_mask_of(0)));
+    co_await th.touch(buf, len);
+
+    const sim::Time before = th.now();
+    const kern::SyscallResult r = co_await th.move_range_async(buf, len, 1);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.count(), static_cast<long>(npages));
+    // The submitter pays only entry + submit costs, not the migration.
+    const kern::CostModel& cm = m.kernel().cost();
+    EXPECT_EQ(th.now() - before, cm.syscall_entry + cm.kmigrated_submit);
+
+    co_await th.kmigrated_drain();
+    EXPECT_EQ(m.kernel().pages_on_node(m.pid(), buf, len, 1), npages);
+  });
+  EXPECT_EQ(m.kernel().stats().kmigrated_batches, 1u);
+  EXPECT_EQ(m.kernel().stats().kmigrated_pages, npages);
+  EXPECT_EQ(m.kernel().stats().kmigrated_batches_dropped, 0u);
+}
+
+TEST(Kmigrated, DrainAdvancesPastDaemonCompletion) {
+  rt::Machine m(phantom_cfg(kern::LockModel::kCoarse));
+  m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    const std::uint64_t len = 32 * mem::kPageSize;
+    const vm::Vaddr buf = co_await th.mmap(
+        len, vm::Prot::kReadWrite, vm::MemPolicy::bind(topo::node_mask_of(0)));
+    co_await th.touch(buf, len);
+    co_await th.move_range_async(buf, len, 2);
+    const sim::Time submitted = th.now();
+    co_await th.kmigrated_drain();
+    // The daemon needed wakeup + copy time beyond the submit instant.
+    EXPECT_GT(th.now(), submitted);
+    // A second drain with nothing in flight is free.
+    const sim::Time drained = th.now();
+    co_await th.kmigrated_drain();
+    EXPECT_EQ(th.now(), drained);
+  });
+}
+
+TEST(Kmigrated, NextTouchMigrateAheadDrainsTheWindow) {
+  kern::KernelConfig cfg = phantom_cfg(kern::LockModel::kCoarse);
+  cfg.nt_async_window = 16;
+  kern::Kernel k(cfg);
+  const kern::Pid pid = k.create_process("nta");
+  kern::ThreadCtx t;
+  t.pid = pid;
+  t.core = 0;
+  const std::uint64_t len = 32 * mem::kPageSize;
+  const vm::Vaddr a = k.sys_mmap(t, len, vm::Prot::kReadWrite,
+                                 vm::MemPolicy::bind(topo::node_mask_of(0)));
+  k.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  EXPECT_TRUE(k.sys_madvise(t, a, len, kern::Advice::kMigrateOnNextTouch).ok());
+
+  // One touch from node 1 migrates the faulting page synchronously and hands
+  // the next 16 pages to node 1's kmigrated daemon.
+  t.core = 4;
+  k.access(t, a, 8, vm::Prot::kRead, 0.0);
+  EXPECT_EQ(k.stats().kmigrated_batches, 1u);
+  EXPECT_EQ(k.stats().kmigrated_pages, 16u);
+  EXPECT_EQ(k.pages_on_node(pid, a, 17 * mem::kPageSize, 1), 17u);
+  // Pages behind the window still carry the next-touch mark.
+  EXPECT_EQ(k.pages_on_node(pid, a + 17 * mem::kPageSize,
+                            len - 17 * mem::kPageSize, 0),
+            32u - 17u);
+  k.validate(pid);
+}
+
+}  // namespace
+}  // namespace numasim

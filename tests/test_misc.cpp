@@ -99,7 +99,8 @@ TEST(ThreadWrappers, MovePagesArgumentErrors) {
 
 TEST(Kernel, ProcessesAreIsolated) {
   const topo::Topology topo = topo::Topology::quad_opteron();
-  kern::Kernel k(topo, mem::Backing::kMaterialized);
+  kern::Kernel k(kern::KernelConfig{.topology = topo,
+                                    .backing = mem::Backing::kMaterialized});
   const kern::Pid p1 = k.create_process("one");
   const kern::Pid p2 = k.create_process("two");
 
@@ -132,7 +133,8 @@ TEST(Kernel, ProcessesAreIsolated) {
 
 TEST(Kernel, ValidatePassesOnHealthyState) {
   const topo::Topology topo = topo::Topology::quad_opteron();
-  kern::Kernel k(topo, mem::Backing::kPhantom);
+  kern::Kernel k(kern::KernelConfig{.topology = topo,
+                                    .backing = mem::Backing::kPhantom});
   k.set_replication_enabled(true);
   const kern::Pid pid = k.create_process();
   kern::ThreadCtx t;

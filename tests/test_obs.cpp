@@ -173,7 +173,7 @@ TEST_F(ObsKernelTest, RegistryDeltaMatchesKernelStats) {
   // Declared before the kernel: an attached registry must outlive it (the
   // kernel's destructor retires its bound counters into the registry).
   Registry reg;
-  kern::Kernel k(topo_, mem::Backing::kPhantom);
+  kern::Kernel k(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom});
   k.set_metrics(&reg);
   const kern::KernelStats s0 = k.stats();
   const Snapshot snap0 = reg.snapshot();
@@ -208,7 +208,7 @@ TEST_F(ObsKernelTest, RegistryAccumulatesAcrossKernelGenerations) {
   Registry reg;
   std::uint64_t total_faults = 0;
   for (int gen = 0; gen < 3; ++gen) {
-    kern::Kernel k(topo_, mem::Backing::kPhantom);
+    kern::Kernel k(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom});
     k.set_metrics(&reg);
     workload(k);
     total_faults += k.stats().minor_faults;
@@ -243,7 +243,7 @@ TEST_F(ObsKernelTest, SinksDrawNoSimulatedCostOrRandomness) {
   plan.shootdown_drop_p = 0.05;
 
   // Baseline: no observability at all.
-  kern::Kernel bare(topo_, mem::Backing::kPhantom);
+  kern::Kernel bare(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom});
   kern::FaultInjector inj_bare(plan, /*seed=*/42);
   bare.set_fault_injector(&inj_bare);
   const sim::Time t_bare = workload(bare);
@@ -253,7 +253,7 @@ TEST_F(ObsKernelTest, SinksDrawNoSimulatedCostOrRandomness) {
   Registry reg;
   ChromeTraceWriter writer;
   NullSink null;
-  kern::Kernel traced(topo_, mem::Backing::kPhantom);
+  kern::Kernel traced(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom});
   kern::FaultInjector inj_traced(plan, /*seed=*/42);
   traced.set_fault_injector(&inj_traced);
   traced.set_metrics(&reg);
@@ -263,7 +263,7 @@ TEST_F(ObsKernelTest, SinksDrawNoSimulatedCostOrRandomness) {
   EXPECT_GT(writer.size(), 0u);
 
   // Sink attached then removed before the workload: identical to bare.
-  kern::Kernel removed(topo_, mem::Backing::kPhantom);
+  kern::Kernel removed(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom});
   kern::FaultInjector inj_removed(plan, /*seed=*/42);
   removed.set_fault_injector(&inj_removed);
   NullSink transient;
@@ -472,7 +472,7 @@ TEST(ChromeTrace, WriteFileRoundTrips) {
 
 TEST_F(ObsKernelTest, KernelTraceHasPerThreadFaultAndMigrationSlices) {
   ChromeTraceWriter w;
-  kern::Kernel k(topo_, mem::Backing::kPhantom);
+  kern::Kernel k(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom});
   k.add_trace_sink(&w);
   workload(k);
   ASSERT_GT(w.size(), 0u);

@@ -14,7 +14,7 @@ class ReplicationTest : public ::testing::Test {
  protected:
   ReplicationTest()
       : topo_(topo::Topology::quad_opteron()),
-        k_(topo_, mem::Backing::kMaterialized) {
+        k_(kern::KernelConfig{.topology = topo_, .backing = mem::Backing::kMaterialized}) {
     k_.set_replication_enabled(true);
     pid_ = k_.create_process("repl");
   }
@@ -46,7 +46,7 @@ class ReplicationTest : public ::testing::Test {
 };
 
 TEST_F(ReplicationTest, DisabledByDefault) {
-  Kernel plain(topo_, mem::Backing::kPhantom);
+  Kernel plain(KernelConfig{.topology = topo_, .backing = mem::Backing::kPhantom});
   const Pid pid = plain.create_process();
   ThreadCtx t;
   t.pid = pid;

@@ -15,7 +15,8 @@ namespace {
 
 struct Probe {
   topo::Topology topo = topo::Topology::quad_opteron();
-  kern::Kernel k{topo, mem::Backing::kPhantom};
+  kern::Kernel k{kern::KernelConfig{.topology = topo,
+                                    .backing = mem::Backing::kPhantom}};
   kern::Pid pid = k.create_process();
   kern::ThreadCtx owner;    // node 0
   kern::ThreadCtx toucher;  // node 1

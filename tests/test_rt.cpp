@@ -51,8 +51,9 @@ TEST(Thread, MoveRangeMigrates) {
     const std::uint64_t len = 100 * mem::kPageSize;
     const vm::Vaddr a = co_await th.mmap(len);
     co_await th.touch(a, len);
-    const long moved = co_await th.move_range(a, len, 3);
-    EXPECT_EQ(moved, 100);
+    const kern::SyscallResult moved = co_await th.move_range(a, len, 3);
+    EXPECT_TRUE(moved.ok());
+    EXPECT_EQ(moved.count(), 100);
     EXPECT_EQ(m.kernel().pages_on_node(m.pid(), a, len, 3), 100u);
   });
 }
