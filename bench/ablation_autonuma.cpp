@@ -1,0 +1,299 @@
+// Ablation: the automatic-NUMA-balancing policy showdown.
+//
+// Pits the placement strategies the paper discusses (first-touch, explicit
+// synchronous move_pages, kernel next-touch, user-space next-touch) against
+// the AutoNUMA subsystem (hint-fault-driven page promotion plus
+// preferred-node / interchange task placement) on three workloads:
+//
+//   stream — four pinned workers each streaming a 1 MiB slab; every 6
+//            iterations the slabs rotate one node over (a phase shift, the
+//            adaptive-refinement scenario the paper motivates next-touch
+//            with). One-shot strategies fix the first shift and lose the
+//            second; AutoNUMA keeps re-converging.
+//   lu     — blocked LU, interleaved matrix (page placement only: app
+//            threads are per-region, so only the fault path acts).
+//   spmv   — iterative SpMV with repartitioning (page placement only).
+//
+// Columns: steady_remote_pct is the mean fraction of each worker's slab on
+// a remote node, sampled before the *last* stream iteration ("na" for the
+// apps); pages_migrated counts every migration path (move_pages, next-touch,
+// kmigrated daemons); task_moves counts balancer core migrations.
+//
+// `--policy=NAME` restricts the run to one policy (CI smoke-tests each).
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/lu.hpp"
+#include "apps/spmv.hpp"
+#include "common.hpp"
+#include "lib/user_next_touch.hpp"
+#include "sched/balancer.hpp"
+#include "sim/barrier.hpp"
+
+using namespace numasim;
+
+namespace {
+
+enum class Policy : std::uint8_t {
+  kFirstTouch,
+  kMovePagesOnce,
+  kNtKernelOnce,
+  kNtUserOnce,
+  kAutonuma,             // page placement + preferred-node task placement
+  kAutonumaInterchange,  // page placement + pairwise interchange
+};
+
+struct PolicyInfo {
+  Policy p;
+  const char* name;
+};
+constexpr PolicyInfo kPolicies[] = {
+    {Policy::kFirstTouch, "first_touch"},
+    {Policy::kMovePagesOnce, "move_pages_once"},
+    {Policy::kNtKernelOnce, "nt_kernel_once"},
+    {Policy::kNtUserOnce, "nt_user_once"},
+    {Policy::kAutonuma, "autonuma"},
+    {Policy::kAutonumaInterchange, "autonuma_interchange"},
+};
+
+bool is_autonuma(Policy p) {
+  return p == Policy::kAutonuma || p == Policy::kAutonumaInterchange;
+}
+
+/// Machine config for one run. AutoNUMA params are tuned to the stream
+/// iteration scale (~300 us): a few scan windows per iteration, so a shifted
+/// page needs about two iterations to clear two-reference confirmation.
+kern::KernelConfig config_for(Policy p) {
+  kern::KernelConfig cfg = bench::phantom_config();
+  if (is_autonuma(p)) {
+    kern::NumaBalancingConfig& nb = cfg.numa_balancing;
+    nb.enabled = true;
+    nb.scan_period = sim::microseconds(100);
+    nb.scan_size_pages = 512;
+    nb.two_reference = true;
+    nb.balance_period = sim::microseconds(400);
+    nb.policy = p == Policy::kAutonumaInterchange
+                    ? kern::NumaPolicy::kInterchange
+                    : kern::NumaPolicy::kPreferredNode;
+  }
+  return cfg;
+}
+
+struct RunRow {
+  sim::Time total = 0;
+  double steady_remote = -1.0;  ///< < 0 = not applicable
+  std::uint64_t pages_migrated = 0;
+  std::uint64_t task_moves = 0;
+};
+
+std::uint64_t migrated_pages(const kern::KernelStats& s) {
+  return s.pages_migrated_move + s.pages_migrated_process +
+         s.pages_migrated_nexttouch + s.kmigrated_pages;
+}
+
+// --- stream -----------------------------------------------------------------
+
+constexpr unsigned kWorkers = 4;
+constexpr std::uint64_t kSlabPages = 256;  // 1 MiB per worker
+
+RunRow run_stream(Policy pol, unsigned phases, unsigned iters_per_phase) {
+  rt::Machine m(config_for(pol));
+  bench::observe(m);
+  sched::Balancer bal(m);
+  std::unique_ptr<lib::UserNextTouch> unt;
+  if (pol == Policy::kNtUserOnce)
+    unt = std::make_unique<lib::UserNextTouch>(m.kernel(), m.pid());
+
+  RunRow row;
+  std::vector<rt::Thread*> slots(kWorkers, nullptr);
+  std::vector<sim::Time> finish(kWorkers, 0);
+  std::vector<double> last_remote(kWorkers, 0.0);
+  sim::Time loop_start = 0;
+
+  m.run_main(3, [&](rt::Thread& th) -> sim::Task<void> {
+    const std::uint64_t slab_bytes = kSlabPages * mem::kPageSize;
+    std::vector<vm::Vaddr> slab(kWorkers);
+    for (unsigned i = 0; i < kWorkers; ++i)
+      slab[i] = co_await th.mmap(slab_bytes, vm::Prot::kReadWrite, {},
+                                 "slab" + std::to_string(i));
+
+    sim::Barrier bar(m.engine(), kWorkers, m.cost().barrier_phase);
+    rt::Team team(m, {0, 4, 8, 12});  // one worker per node
+    rt::Team::WorkerFn worker = [&](unsigned tid,
+                                    rt::Thread& w) -> sim::Task<void> {
+      slots[tid] = &w;
+      co_await w.barrier(bar);
+      if (tid == 0) {
+        // All workers have parked in slots; register in tid order so the
+        // balancer's evaluation order is deterministic.
+        for (rt::Thread* t : slots) bal.add_thread(*t);
+        loop_start = w.now();
+      }
+      for (unsigned phase = 0; phase < phases; ++phase) {
+        const vm::Vaddr s = slab[(tid + phase) % kWorkers];
+        if (phase == 1) {
+          // One-shot strategies get exactly one corrective action, at the
+          // first shift. The second shift is theirs to lose.
+          switch (pol) {
+            case Policy::kMovePagesOnce:
+              co_await w.move_range(s, slab_bytes, w.node());
+              bench::expect_on_node(w, s, slab_bytes, w.node(),
+                                    "shifted slab");
+              break;
+            case Policy::kNtKernelOnce:
+              co_await w.madvise(s, slab_bytes,
+                                 kern::Advice::kMigrateOnNextTouch);
+              break;
+            case Policy::kNtUserOnce:
+              unt->mark(w.ctx(), s, slab_bytes);
+              co_await w.sync();
+              break;
+            default:
+              break;
+          }
+        }
+        for (unsigned it = 0; it < iters_per_phase; ++it) {
+          const double on = static_cast<double>(
+              w.kernel().pages_on_node(m.pid(), s, slab_bytes, w.node()));
+          last_remote[tid] = 1.0 - on / static_cast<double>(kSlabPages);
+          co_await w.touch(s, slab_bytes);
+          co_await bal.tick(w);
+          co_await w.barrier(bar);
+        }
+      }
+      finish[tid] = w.now();
+    };
+    co_await team.parallel(th, std::move(worker), "stream");
+    co_await th.kmigrated_drain();
+  });
+
+  sim::Time end = 0;
+  double remote = 0.0;
+  for (unsigned i = 0; i < kWorkers; ++i) {
+    end = std::max(end, finish[i]);
+    remote += last_remote[i];
+  }
+  row.total = end - loop_start;
+  row.steady_remote = remote / kWorkers;
+  row.pages_migrated = migrated_pages(m.kernel().stats());
+  row.task_moves = m.kernel().stats().numab_task_migrations;
+  return row;
+}
+
+// --- apps (page placement only: app threads are forked per region) ----------
+
+RunRow run_lu(Policy pol, bool quick) {
+  rt::Machine m(config_for(pol));
+  bench::observe(m);
+  apps::LuConfig lc;
+  lc.n = quick ? 256 : 512;
+  lc.bs = 64;
+  lc.next_touch = pol == Policy::kNtKernelOnce;
+  rt::Team team = rt::Team::all_cores(m);
+  apps::LuFactorization lu(m, team, lc);
+  m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    co_await lu.run(th);
+    co_await th.kmigrated_drain();
+  });
+  RunRow row;
+  row.total = lu.result().factor_time;
+  row.pages_migrated = migrated_pages(m.kernel().stats());
+  row.task_moves = m.kernel().stats().numab_task_migrations;
+  return row;
+}
+
+RunRow run_spmv(Policy pol, bool quick) {
+  rt::Machine m(config_for(pol));
+  bench::observe(m);
+  apps::SpmvConfig sc;
+  sc.n = quick ? (1u << 12) : (1u << 14);
+  sc.policy = pol == Policy::kNtKernelOnce
+                  ? apps::SpmvConfig::Policy::kNextTouch
+                  : apps::SpmvConfig::Policy::kStatic;
+  rt::Team team = rt::Team::all_cores(m);
+  apps::Spmv spmv(m, team, sc);
+  m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    co_await spmv.run(th);
+    co_await th.kmigrated_drain();
+  });
+  RunRow row;
+  row.total = spmv.result().solve_time;
+  row.pages_migrated = migrated_pages(m.kernel().stats());
+  row.task_moves = m.kernel().stats().numab_task_migrations;
+  return row;
+}
+
+void emit(const bench::Options& opts, const char* workload, const char* policy,
+          std::uint64_t iters, const RunRow& r) {
+  std::vector<std::string> row{
+      workload, policy, bench::fmt_u64(iters),
+      bench::fmt(static_cast<double>(r.total) / 1e6, "%.3f")};
+  row.push_back(r.steady_remote < 0.0
+                    ? "na"
+                    : bench::fmt(100.0 * r.steady_remote, "%.1f"));
+  row.push_back(bench::fmt_u64(r.pages_migrated));
+  row.push_back(bench::fmt_u64(r.task_moves));
+  bench::print_row(opts, row);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --policy= before the strict common parser sees it.
+  std::string only;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--policy=", 9) == 0)
+      only = argv[i] + 9;
+    else
+      args.push_back(argv[i]);
+  }
+  if (!only.empty()) {
+    bool known = false;
+    for (const PolicyInfo& pi : kPolicies) known = known || only == pi.name;
+    if (!known) {
+      std::fprintf(stderr, "%s: bad --policy '%s'\n", argv[0], only.c_str());
+      return 2;
+    }
+  }
+  const auto opts =
+      numasim::bench::parse_options(static_cast<int>(args.size()), args.data());
+  numasim::bench::Observability obsv(opts);
+
+  numasim::bench::print_header(
+      opts, "Ablation — automatic NUMA balancing policy showdown",
+      {"workload", "policy", "iters", "total_ms", "steady_remote_pct",
+       "pages_migrated", "task_moves"});
+
+  const unsigned phases = 3;
+  const unsigned ipp = 6;  // iterations per phase (shift_every)
+  for (const PolicyInfo& pi : kPolicies) {
+    if (!only.empty() && only != pi.name) continue;
+    emit(opts, "stream", pi.name, phases * ipp, run_stream(pi.p, phases, ipp));
+  }
+  // The apps fork fresh threads per parallel region, so task placement never
+  // engages: run them under the policies that differ (interchange would
+  // duplicate the autonuma row; one-shot move_pages / user next-touch have
+  // no natural hook inside the apps).
+  const std::uint64_t lu_n = opts.quick ? 256 : 512;
+  for (const PolicyInfo& pi : kPolicies) {
+    if (!only.empty() && only != pi.name) continue;
+    if (pi.p == Policy::kMovePagesOnce || pi.p == Policy::kNtUserOnce ||
+        pi.p == Policy::kAutonumaInterchange)
+      continue;
+    emit(opts, "lu", pi.name, lu_n / 64, run_lu(pi.p, opts.quick));
+  }
+  for (const PolicyInfo& pi : kPolicies) {
+    if (!only.empty() && only != pi.name) continue;
+    if (pi.p == Policy::kMovePagesOnce || pi.p == Policy::kNtUserOnce ||
+        pi.p == Policy::kAutonumaInterchange)
+      continue;
+    emit(opts, "spmv", pi.name, apps::SpmvConfig{}.iterations,
+         run_spmv(pi.p, opts.quick));
+  }
+
+  obsv.finish();
+  return 0;
+}

@@ -218,6 +218,27 @@ inline void observe(kern::Kernel& k) {
 }
 inline void observe(rt::Machine& m) { observe(m.kernel()); }
 
+/// Post-migration assertion: abort the benchmark (exit 1) unless all pages
+/// of [addr, addr+len) landed on `node`. Pure host-side inspection — it
+/// never advances simulated time, so adding it to a bench cannot perturb
+/// golden outputs. `what` names the buffer in the failure message.
+inline void expect_on_node(rt::Thread& th, vm::Vaddr addr, std::uint64_t len,
+                           topo::NodeId node, const char* what) {
+  const std::uint64_t want = len / mem::kPageSize;
+  const std::uint64_t got =
+      th.kernel().pages_on_node(th.ctx().pid, addr, len, node);
+  if (got != want) {
+    std::fprintf(stderr,
+                 "expect_on_node: %s: %llu/%llu pages on node %u "
+                 "(addr=0x%llx len=%llu)\n",
+                 what, static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want), node,
+                 static_cast<unsigned long long>(addr),
+                 static_cast<unsigned long long>(len));
+    std::exit(1);
+  }
+}
+
 /// Phantom-backed kernel config on topology `t`, honoring the run's
 /// machine-wide options (currently the lock model).
 inline kern::KernelConfig phantom_kernel_config(const topo::Topology& t) {

@@ -40,6 +40,7 @@ RunResult run_one(std::uint64_t npages, unsigned nthreads, bool lazy) {
       } else {
         co_await w.move_range(lo, bytes, 1);
       }
+      bench::expect_on_node(w, lo, bytes, 1, lazy ? "lazy chunk" : "sync chunk");
     };
     co_await team.parallel(th, std::move(worker));
     res.span = team.last_span();

@@ -133,6 +133,12 @@ struct CostModel {
   Time kmigrated_wakeup = 8000;      ///< daemon schedule-in latency
   Time kmigrated_batch_base = 3000;  ///< dequeue + batch setup (daemon pays)
 
+  // --- automatic NUMA balancing (task_numa_work-style sampling) -----------------
+  Time numab_scan_base = 3000;   ///< one scan window: clock check + VMA walk setup
+  Time numab_scan_page = 120;    ///< clear hw bits + set hint flag, per page
+  Time numab_hint_fault = 600;   ///< hint-fault bookkeeping + rearm in the fault path
+  Time numab_balance_eval = 4000;  ///< one sched::Balancer evaluation pass
+
   // --- barriers / scheduling ------------------------------------------------------
   Time barrier_phase = 2500;     ///< one OpenMP-style barrier episode
   Time thread_spawn = 15'000;

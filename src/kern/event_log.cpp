@@ -23,6 +23,10 @@ std::string_view event_type_name(EventType t) {
     case EventType::kKmigratedSubmit: return "kmigrated-submit";
     case EventType::kKmigratedComplete: return "kmigrated-complete";
     case EventType::kKmigratedDrop: return "kmigrated-drop";
+    case EventType::kNumaScan: return "numab-scan";
+    case EventType::kNumaHintFault: return "numab-hint-fault";
+    case EventType::kNumaPromote: return "numab-promote";
+    case EventType::kNumaTaskMigrate: return "numab-task-migrate";
   }
   return "?";
 }
@@ -38,7 +42,9 @@ void EventLog::record(const obs::TraceEvent& e) {
       EventType::kNextTouchDegraded, EventType::kShootdownRetry,
       EventType::kSignalDelay,       EventType::kAllocStall,
       EventType::kKmigratedSubmit,   EventType::kKmigratedComplete,
-      EventType::kKmigratedDrop,
+      EventType::kKmigratedDrop,     EventType::kNumaScan,
+      EventType::kNumaHintFault,     EventType::kNumaPromote,
+      EventType::kNumaTaskMigrate,
   };
   for (EventType t : kAll) {
     if (event_type_name(t) != e.name) continue;

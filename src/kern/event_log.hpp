@@ -43,6 +43,11 @@ enum class EventType : std::uint8_t {
   kKmigratedSubmit,    // batch handed to a per-node kmigrated daemon
   kKmigratedComplete,  // daemon finished the batch (stamped at completion)
   kKmigratedDrop,      // batch dropped (fault injection)
+  // Automatic NUMA balancing events:
+  kNumaScan,         // one scan-clock window tagged `pages` PTEs for hinting
+  kNumaHintFault,    // NUMA hint fault (from = page's node, to = faulting node)
+  kNumaPromote,      // confirmed promotion batch submitted to kmigrated
+  kNumaTaskMigrate,  // sched::Balancer moved a task (from/to = core ids)
 };
 
 std::string_view event_type_name(EventType t);

@@ -33,6 +33,7 @@
 #include "kern/fault_injector.hpp"
 #include "kern/hw_state.hpp"
 #include "kern/kmigrated.hpp"
+#include "kern/numab.hpp"
 #include "kern/replication.hpp"
 #include "mem/phys.hpp"
 #include "obs/metrics.hpp"
@@ -122,6 +123,9 @@ struct KernelConfig {
   /// set_fault_injector() overrides it with an external one.
   FaultPlan fault_plan{};
   std::uint64_t fault_seed = 0;
+  /// Automatic NUMA balancing (hint-fault sampling + migrate-on-fault).
+  /// Disabled by default; see kern/numab.hpp and docs/scheduling.md.
+  NumaBalancingConfig numa_balancing{};
 };
 
 /// Result of an access() call (MMU emulation).
@@ -157,6 +161,15 @@ struct KernelStats {
   std::uint64_t kmigrated_pages = 0;           ///< pages migrated by daemons
   std::uint64_t kmigrated_batches_dropped = 0; ///< batches lost (fault injection)
   std::uint64_t kmigrated_pages_failed = 0;    ///< per-page ENOMEM inside a batch
+  // Automatic NUMA balancing:
+  std::uint64_t numab_scans = 0;          ///< scan-clock windows executed
+  std::uint64_t numab_pages_scanned = 0;  ///< PTEs tagged for hint faults
+  std::uint64_t numab_hint_faults = 0;    ///< NUMA hint faults taken
+  std::uint64_t numab_hint_faults_local = 0;  ///< ... whose page was local
+  std::uint64_t numab_promotions_deferred = 0; ///< remote faults awaiting 2nd ref
+  std::uint64_t numab_pages_promoted = 0; ///< pages handed to kmigrated
+  std::uint64_t numab_task_migrations = 0;  ///< balancer core moves applied
+  std::uint64_t numab_task_swaps = 0;       ///< interchange pair swaps chosen
 };
 
 class Kernel {
@@ -384,6 +397,21 @@ class Kernel {
   /// Per-node used/free frame summary (numactl --hardware style).
   std::string meminfo() const;
 
+  // --- automatic NUMA balancing (consumed by sched::Balancer) -------------------
+  /// Decayed per-node hint-fault scores of (pid, tid) as of `now` (empty if
+  /// the task has taken no hint fault yet). Applies the lazy decay; host-side
+  /// only, charges nothing.
+  std::vector<double> numab_task_faults(Pid pid, ThreadId tid, sim::Time now);
+  /// The node holding the largest decayed fault score of (pid, tid),
+  /// provided it owns at least `hot_threshold` of the total mass;
+  /// topo::kInvalidNode otherwise.
+  topo::NodeId numab_preferred_node(Pid pid, ThreadId tid, sim::Time now);
+  /// Balancer callbacks: account one applied task move / one chosen
+  /// interchange pair (counters + kNumaTaskMigrate tracepoint).
+  void numab_note_task_migration(const ThreadCtx& t, topo::CoreId from,
+                                 topo::CoreId to);
+  void numab_note_task_swap();
+
  private:
   struct Process {
     Pid pid = 0;
@@ -400,6 +428,7 @@ class Kernel {
     sim::SharedTimeline mmap_rw;
     std::unordered_map<std::uint64_t, RangeLock> vma_locks;
     ReplicaTable replicas;
+    NumabState numab;
   };
 
   Process& proc(Pid pid);
@@ -562,6 +591,22 @@ class Kernel {
   void nt_migrate_ahead(ThreadCtx& t, Process& p, const vm::Vma& vma,
                         vm::Vpn fault_vpn, topo::NodeId node);
 
+  // --- automatic NUMA balancing internals (src/kern/numab.cpp) ------------------
+  /// Scan clock, checked at the top of access()/access_strided() — the
+  /// simulated analogue of task_numa_work running from task_work. One branch
+  /// when balancing is off.
+  void numab_tick(ThreadCtx& t, Process& p);
+  /// One scan window: tag up to scan_size_pages present PTEs (sliding
+  /// cursor over the VMAs) so their next access hint-faults.
+  void numab_scan(ThreadCtx& t, Process& p);
+  /// NUMA hint fault: record fault stats, rearm the PTE, and queue the page
+  /// for promotion when the two-reference check confirms it.
+  void numab_hint_fault(ThreadCtx& t, Process& p, const vm::Vma& vma,
+                        vm::Pte& pte, vm::Vpn vpn);
+  /// Hand the promotions confirmed during the current access to the
+  /// kmigrated daemons, coalesced into contiguous same-target batches.
+  void numab_flush_promotions(ThreadCtx& t, Process& p);
+
   void deliver_sigsegv(ThreadCtx& t, Process& p, const SigInfo& info,
                        AccessResult& res);
 
@@ -612,6 +657,7 @@ class Kernel {
   obs::Histogram* h_lock_wait_ = nullptr;
   obs::Histogram* h_shootdown_rounds_ = nullptr;
   obs::Histogram* h_kmigrated_batch_ = nullptr;
+  obs::Histogram* h_numab_scan_ = nullptr;
   FaultInjector* injector_ = nullptr;
   std::unique_ptr<FaultInjector> owned_injector_;  // from cfg_.fault_plan
   std::vector<std::unique_ptr<Process>> procs_;

@@ -56,7 +56,7 @@ void Kernel::set_metrics(obs::Registry* reg) {
   }
   metrics_ = reg;
   h_fault_ = h_migrate_page_ = h_lock_wait_ = h_shootdown_rounds_ =
-      h_kmigrated_batch_ = nullptr;
+      h_kmigrated_batch_ = h_numab_scan_ = nullptr;
   if (reg == nullptr) return;
 
   reg->bind_counter("kern.minor_faults", &kstats_.minor_faults);
@@ -82,6 +82,16 @@ void Kernel::set_metrics(obs::Registry* reg) {
                     &kstats_.kmigrated_batches_dropped);
   reg->bind_counter("kern.kmigrated.pages_failed",
                     &kstats_.kmigrated_pages_failed);
+  reg->bind_counter("kern.numab.scans", &kstats_.numab_scans);
+  reg->bind_counter("kern.numab.pages_scanned", &kstats_.numab_pages_scanned);
+  reg->bind_counter("kern.numab.hint_faults", &kstats_.numab_hint_faults);
+  reg->bind_counter("kern.numab.hint_faults_local",
+                    &kstats_.numab_hint_faults_local);
+  reg->bind_counter("kern.numab.promotions_deferred",
+                    &kstats_.numab_promotions_deferred);
+  reg->bind_counter("kern.numab.pages_promoted", &kstats_.numab_pages_promoted);
+  reg->bind_counter("kern.numab.task_migrations", &kstats_.numab_task_migrations);
+  reg->bind_counter("kern.numab.task_swaps", &kstats_.numab_task_swaps);
 
   for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
     reg->bind_gauge("mem.used_frames.node" + std::to_string(n), [this, n] {
@@ -99,6 +109,7 @@ void Kernel::set_metrics(obs::Registry* reg) {
   h_lock_wait_ = &reg->histogram("kern.lock_wait_ns");
   h_shootdown_rounds_ = &reg->histogram("kern.shootdown_rounds");
   h_kmigrated_batch_ = &reg->histogram("kern.kmigrated.batch_latency_ns");
+  h_numab_scan_ = &reg->histogram("kern.numab.scan_pages");
 }
 
 void Kernel::trace_slow(const ThreadCtx& t, EventType type, vm::Vpn vpn,
@@ -653,6 +664,14 @@ bool Kernel::do_handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr,
     return false;
   }
 
+  if (pte.numa_hint() && cfg_.numa_balancing.enabled) {
+    // NUMA hint fault (do_numa_page): the scan clock unmapped this page so
+    // we learn who touches it. Records fault stats, rearms the PTE, and may
+    // queue a confirmed remote page for promotion.
+    numab_hint_fault(t, p, *vma, pte, vm::vpn_of(addr));
+    return false;
+  }
+
   // Present, VMA permits, but hardware bits are narrower (e.g. after an
   // mprotect widening): re-derive them from the VMA.
   charge(t, cost_.pte_update + cost_.tlb_flush_local, sim::CostKind::kPageFault);
@@ -667,6 +686,7 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   Process& p = proc(t.pid);
   vm::PageTable& pt = p.as.page_table();
   const topo::NodeId core_node = topo_.node_of_core(t.core);
+  numab_tick(t, p);
   const sim::Time entry = t.clock;
   CopyBatch copies;
 
@@ -722,6 +742,7 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
     serialize_migration(t, p, entry, res.nexttouch_migrations,
                         cost_.nt_serial_per_page);
   }
+  if (!p.numab.pending.empty()) numab_flush_promotions(t, p);
   return res;
 }
 
@@ -745,6 +766,7 @@ AccessResult Kernel::access_strided(ThreadCtx& t, vm::Vaddr base,
   Process& p = proc(t.pid);
   vm::PageTable& pt = p.as.page_table();
   const topo::NodeId core_node = topo_.node_of_core(t.core);
+  numab_tick(t, p);
   const sim::Time entry = t.clock;
   CopyBatch copies;
 
@@ -799,6 +821,7 @@ AccessResult Kernel::access_strided(ThreadCtx& t, vm::Vaddr base,
     serialize_migration(t, p, entry, res.nexttouch_migrations,
                         cost_.nt_serial_per_page);
   }
+  if (!p.numab.pending.empty()) numab_flush_promotions(t, p);
   return res;
 }
 
@@ -959,6 +982,10 @@ void Kernel::validate(Pid pid) const {
       claim(pte->frame, "pte");
       if (pte->next_touch() && pte->hw_allows(vm::Prot::kRead))
         throw std::logic_error{"validate: next-touch PTE with live hw read bit"};
+      if (pte->numa_hint() && pte->hw_allows(vm::Prot::kRead))
+        throw std::logic_error{"validate: numa-hint PTE with live hw read bit"};
+      if (pte->numa_hint() && pte->next_touch())
+        throw std::logic_error{"validate: PTE both numa-hint and next-touch"};
       const std::uint64_t nrep = p.replicas.replica_count(vpn);
       if (nrep != 0 && !(pte->flags & vm::Pte::kReplica))
         throw std::logic_error{"validate: replicas without kReplica flag"};

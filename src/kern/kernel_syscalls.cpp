@@ -94,10 +94,10 @@ SyscallResult Kernel::do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t le
       vm::Pte* pte = p.as.page_table().find(vpn);
       if (pte == nullptr || !pte->present()) continue;
       ++present;
-      // An explicit protection change supersedes a pending next-touch mark,
-      // and granting write on a replicated page forces a collapse (the
-      // per-node copies would otherwise go incoherent).
-      pte->clear(vm::Pte::kNextTouch);
+      // An explicit protection change supersedes a pending next-touch or
+      // NUMA-hint mark, and granting write on a replicated page forces a
+      // collapse (the per-node copies would otherwise go incoherent).
+      pte->clear(vm::Pte::kNextTouch | vm::Pte::kNumaHint);
       if ((pte->flags & vm::Pte::kReplica) && prot_allows(prot, vm::Prot::kWrite))
         collapse_replicas(t, p, *pte, vpn, topo_.node_of_core(t.core));
       pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
@@ -176,7 +176,7 @@ SyscallResult Kernel::do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len
       for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
         vm::Pte* pte = p.as.page_table().find(vpn);
         if (pte != nullptr && pte->present()) {
-          pte->clear(vm::Pte::kHwWrite | vm::Pte::kNextTouch);
+          pte->clear(vm::Pte::kHwWrite | vm::Pte::kNextTouch | vm::Pte::kNumaHint);
           pte->set(vm::Pte::kReplica);
           ++marked;
         }
@@ -204,7 +204,7 @@ SyscallResult Kernel::do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len
           // Replicated pages collapse before they can migrate as a unit.
           if (pte->flags & vm::Pte::kReplica)
             collapse_replicas(t, p, *pte, vpn, topo_.node_of_core(t.core));
-          pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
+          pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite | vm::Pte::kNumaHint);
           pte->set(vm::Pte::kNextTouch);
           ++marked;
         }

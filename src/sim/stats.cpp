@@ -24,6 +24,9 @@ std::string_view cost_kind_name(CostKind k) {
     case CostKind::kReplicaCopy: return "replica-copy";
     case CostKind::kLockWait: return "lock-wait";
     case CostKind::kAllocZero: return "alloc-zero";
+    case CostKind::kNumaScan: return "numa-scan";
+    case CostKind::kNumaHint: return "numa-hint";
+    case CostKind::kNumaBalance: return "numa-balance";
     case CostKind::kOther: return "other";
     case CostKind::kCount: break;
   }

@@ -34,6 +34,9 @@ enum class CostKind : std::uint8_t {
   kReplicaCopy,         // replica page copies (extension)
   kLockWait,            // queueing on the page-table lock
   kAllocZero,           // first-touch allocation + zero-fill
+  kNumaScan,            // autonuma: scan-clock PTE unmapping windows
+  kNumaHint,            // autonuma: hint-fault bookkeeping + promotion submits
+  kNumaBalance,         // autonuma: sched::Balancer evaluation passes
   kOther,
   kCount
 };

@@ -40,12 +40,22 @@ struct Pte {
   /// Extension: part of a 2 MiB huge mapping (populated as a block; not
   /// migratable, matching Linux circa 2009).
   static constexpr std::uint16_t kHuge = 1u << 7;
+  /// AutoNUMA hint marker (pte_protnone): the scan clock cleared the hw
+  /// bits so the next ordinary access takes a NUMA hint fault.
+  static constexpr std::uint16_t kNumaHint = 1u << 8;
+
+  /// `numa_last` value meaning "no hint fault recorded yet".
+  static constexpr std::uint8_t kNoNumaNode = 0xFF;
 
   mem::FrameId frame = mem::kInvalidFrame;
   std::uint16_t flags = 0;
+  /// Node of the last hint fault on this page (two-reference confirmation,
+  /// like page_cpupid_last); kNoNumaNode until the first hint fault.
+  std::uint8_t numa_last = kNoNumaNode;
 
   bool present() const { return flags & kPresent; }
   bool next_touch() const { return flags & kNextTouch; }
+  bool numa_hint() const { return flags & kNumaHint; }
   bool hw_allows(Prot want) const {
     if (!present()) return false;
     if (prot_allows(want, Prot::kWrite) && !(flags & kHwWrite)) return false;

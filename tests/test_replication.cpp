@@ -120,6 +120,52 @@ TEST_F(ReplicationTest, WriteCollapsesToWriterNode) {
   EXPECT_EQ(again.nexttouch_migrations, 0u);
 }
 
+TEST(ReplicationRangeLock, WriteCollapsesUnderRangeModel) {
+  // The collapse path serializes against migration through the lock model;
+  // the scalable range engine must reach the same end state as coarse.
+  const topo::Topology topo = topo::Topology::quad_opteron();
+  Kernel k(KernelConfig{.topology = topo,
+                        .backing = mem::Backing::kMaterialized,
+                        .lock_model = LockModel::kRange});
+  k.set_replication_enabled(true);
+  const Pid pid = k.create_process("repl-range");
+
+  ThreadCtx t0;
+  t0.pid = pid;
+  t0.core = 0;
+  const std::uint64_t len = 8 * mem::kPageSize;
+  const vm::Vaddr a = k.sys_mmap(t0, len, vm::Prot::kReadWrite, {}, "r");
+  k.access(t0, a, len, vm::Prot::kWrite, 3500.0);
+  std::vector<std::byte> data(len);
+  for (std::size_t i = 0; i < len; ++i) data[i] = static_cast<std::byte>(i * 7);
+  k.poke(pid, a, data);
+  ASSERT_EQ(k.sys_madvise(t0, a, len, Advice::kReplicate), 0);
+
+  for (topo::CoreId core : {4u, 8u}) {
+    ThreadCtx t;
+    t.pid = pid;
+    t.core = core;
+    t.clock = sim::seconds(1);
+    k.access(t, a, len, vm::Prot::kRead, 3500.0);
+  }
+  ASSERT_EQ(k.replica_pages(pid), 16u);
+
+  ThreadCtx w;
+  w.pid = pid;
+  w.core = 13;  // node 3
+  w.clock = sim::seconds(2);
+  k.access(w, a, len, vm::Prot::kReadWrite, 3500.0);
+  EXPECT_EQ(k.replica_pages(pid), 0u);
+  EXPECT_EQ(k.stats().replica_collapses, 8u);
+  EXPECT_EQ(k.pages_on_node(pid, a, len, 3), 8u);
+
+  std::vector<std::byte> out(len);
+  ASSERT_TRUE(k.peek(pid, a, out));
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(out[i], static_cast<std::byte>(i * 7));
+  k.validate(pid);
+}
+
 TEST_F(ReplicationTest, MunmapFreesReplicaFrames) {
   const vm::Vaddr a = make_buffer(8);
   ThreadCtx t0 = ctx_on(0);
