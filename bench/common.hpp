@@ -32,6 +32,10 @@ struct Options {
   /// Migration-engine locking ("--lock-model=coarse|range"). Coarse is the
   /// paper-faithful default; range is the scalable engine.
   kern::LockModel lock_model = kern::LockModel::kCoarse;
+  /// Migration engine ("--migration-mode=stop_and_copy|transactional").
+  /// Stop-and-copy is the paper-faithful default; transactional is the
+  /// shadow-copy engine (kern/txn_migrate.hpp).
+  kern::MigrationMode migration_mode = kern::MigrationMode::kStopAndCopy;
 };
 
 /// The run's parsed options; parse_options() fills it so measurement helpers
@@ -46,13 +50,17 @@ inline void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--csv] [--quick] [--metrics] [--trace=FILE]\n"
                "          [--lock-model=coarse|range]\n"
+               "          [--migration-mode=stop_and_copy|transactional]\n"
                "  --csv          machine-readable output\n"
                "  --quick        reduced sweeps for smoke runs\n"
                "  --metrics      print a metrics report to stderr on exit\n"
                "  --trace=FILE   write a Chrome trace-event JSON file\n"
                "                 (open in chrome://tracing or ui.perfetto.dev)\n"
                "  --lock-model=M migration locking: coarse (paper-faithful\n"
-               "                 default) or range (scalable engine)\n",
+               "                 default) or range (scalable engine)\n"
+               "  --migration-mode=M  page-migration engine: stop_and_copy\n"
+               "                 (paper-faithful default) or transactional\n"
+               "                 (shadow-copy with dirty retry)\n",
                prog);
 }
 
@@ -76,6 +84,19 @@ inline Options parse_options(int argc, char** argv) {
         o.lock_model = kern::LockModel::kRange;
       } else {
         std::fprintf(stderr, "%s: bad --lock-model '%s' (coarse|range)\n",
+                     argv[0], m);
+        std::exit(2);
+      }
+    } else if (std::strncmp(a, "--migration-mode=", 17) == 0) {
+      const char* m = a + 17;
+      if (std::strcmp(m, "stop_and_copy") == 0) {
+        o.migration_mode = kern::MigrationMode::kStopAndCopy;
+      } else if (std::strcmp(m, "transactional") == 0) {
+        o.migration_mode = kern::MigrationMode::kTransactional;
+      } else {
+        std::fprintf(stderr,
+                     "%s: bad --migration-mode '%s' "
+                     "(stop_and_copy|transactional)\n",
                      argv[0], m);
         std::exit(2);
       }
@@ -246,6 +267,7 @@ inline kern::KernelConfig phantom_kernel_config(const topo::Topology& t) {
   cfg.topology = t;
   cfg.backing = mem::Backing::kPhantom;
   cfg.lock_model = current_options().lock_model;
+  cfg.migration_mode = current_options().migration_mode;
   return cfg;
 }
 

@@ -89,6 +89,28 @@ struct CostModel {
   Time copy_backoff(unsigned attempt) const {
     return copy_retry_backoff << attempt;
   }
+  // --- transactional migration (kern/txn_migrate, NOMAD-style) -----------------
+  /// Bounded dirty-retry budget: a page found dirty after its shadow copy is
+  /// re-copied up to `txn_retry_max` times, backing off
+  /// `txn_retry_backoff << attempt` between attempts; exhaustion degrades
+  /// the page to the stop-and-copy path.
+  unsigned txn_retry_max = 4;
+  Time txn_retry_backoff = 4'000;
+  Time txn_backoff(unsigned attempt) const { return txn_retry_backoff << attempt; }
+  /// Shadow-frame setup (alloc bookkeeping + copy kickoff, outside any lock).
+  Time txn_shadow_control = 700;
+  /// Dirty-bit verification after write-protecting the page.
+  Time txn_verify = 250;
+  /// The atomic PTE flip + local flush of a clean commit.
+  Time txn_commit = 400;
+  /// Serialized per-page share of a transactional batch: only the commit
+  /// flips contend (the copies run outside the critical section), so these
+  /// replace move_pages_serial_per_page / nt_serial_per_page (coarse) and
+  /// range_serial_per_page / nt_range_serial_per_page (range) when
+  /// migration_mode == kTransactional.
+  Time txn_commit_serial_per_page = 900;
+  Time txn_range_commit_serial_per_page = 700;
+
   /// Wait before re-sending a lost TLB-shootdown IPI (csd-lock timeout).
   Time tlb_shootdown_resend_wait = 10'000;
   /// Extra latency of a delayed SIGSEGV delivery (queued behind a context

@@ -27,6 +27,10 @@ std::string_view event_type_name(EventType t) {
     case EventType::kNumaHintFault: return "numab-hint-fault";
     case EventType::kNumaPromote: return "numab-promote";
     case EventType::kNumaTaskMigrate: return "numab-task-migrate";
+    case EventType::kTxnCommit: return "txn-commit";
+    case EventType::kTxnDirtyRetry: return "txn-dirty-retry";
+    case EventType::kTxnDegraded: return "txn-degraded";
+    case EventType::kTxnAbort: return "txn-abort";
   }
   return "?";
 }
@@ -44,7 +48,9 @@ void EventLog::record(const obs::TraceEvent& e) {
       EventType::kKmigratedSubmit,   EventType::kKmigratedComplete,
       EventType::kKmigratedDrop,     EventType::kNumaScan,
       EventType::kNumaHintFault,     EventType::kNumaPromote,
-      EventType::kNumaTaskMigrate,
+      EventType::kNumaTaskMigrate,   EventType::kTxnCommit,
+      EventType::kTxnDirtyRetry,     EventType::kTxnDegraded,
+      EventType::kTxnAbort,
   };
   for (EventType t : kAll) {
     if (event_type_name(t) != e.name) continue;

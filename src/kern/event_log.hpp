@@ -48,6 +48,11 @@ enum class EventType : std::uint8_t {
   kNumaHintFault,    // NUMA hint fault (from = page's node, to = faulting node)
   kNumaPromote,      // confirmed promotion batch submitted to kmigrated
   kNumaTaskMigrate,  // sched::Balancer moved a task (from/to = core ids)
+  // Transactional migration events (kern/txn_migrate):
+  kTxnCommit,      // clean verify; page committed by atomic PTE flip
+  kTxnDirtyRetry,  // page dirtied during the copy window; re-copy after backoff
+  kTxnDegraded,    // transaction gave up; caller stop-and-copied or deferred
+  kTxnAbort,       // retry budget exhausted / permanent fault; shadow released
 };
 
 std::string_view event_type_name(EventType t);

@@ -35,6 +35,7 @@
 #include "kern/kmigrated.hpp"
 #include "kern/numab.hpp"
 #include "kern/replication.hpp"
+#include "kern/txn_migrate.hpp"
 #include "mem/phys.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -110,6 +111,17 @@ struct KernelConfig {
   CostModel cost{};
   LockModel lock_model = LockModel::kCoarse;
   MovePagesImpl move_pages_impl = MovePagesImpl::kLinear;
+  /// Which migration engine the page-moving paths use (move_pages, the
+  /// ranged/async interfaces, mbind(MPOL_MF_MOVE), kmigrated batches, numab
+  /// promotion). kStopAndCopy is paper-faithful and runs event-for-event
+  /// identical to kernels predating the transactional engine;
+  /// kTransactional shadow-copies while the page stays mapped and falls
+  /// back to stop-and-copy per page on retry exhaustion (see
+  /// kern/txn_migrate.hpp and docs/failure-semantics.md). migrate_pages(2)
+  /// whole-process migration always stop-and-copies: its pages belong to
+  /// another (quiesced) process, so there is no running writer to avoid
+  /// stalling.
+  MigrationMode migration_mode = MigrationMode::kStopAndCopy;
   /// Extension toggle: replicate read-only pages on remote read faults.
   bool replication = false;
   std::uint64_t max_frames_per_node = 0;  ///< 0 = topology default
@@ -170,6 +182,15 @@ struct KernelStats {
   std::uint64_t numab_pages_promoted = 0; ///< pages handed to kmigrated
   std::uint64_t numab_task_migrations = 0;  ///< balancer core moves applied
   std::uint64_t numab_task_swaps = 0;       ///< interchange pair swaps chosen
+  // Transactional migration (kern/txn_migrate):
+  std::uint64_t txn_commits = 0;        ///< pages committed by atomic flip
+  std::uint64_t txn_dirty_retries = 0;  ///< dirty hits re-copied with backoff
+  std::uint64_t txn_degraded = 0;       ///< fell back to stop-and-copy / deferred
+  std::uint64_t txn_aborted = 0;        ///< retry budget exhausted / permanent fault
+  /// Async kmigrated batches still in flight when the kernel was destroyed;
+  /// accounted (never silently dropped) so an attached metrics registry
+  /// keeps the evidence across kernel generations.
+  std::uint64_t kmigrated_dropped_at_teardown = 0;
 };
 
 class Kernel {
@@ -190,8 +211,10 @@ class Kernel {
   CostModel& cost_mutable() { return cost_; }
   HwState& hw() { return hw_; }
   mem::PhysMem& phys() { return phys_; }
+  const mem::PhysMem& phys() const { return phys_; }
   const KernelStats& stats() const { return kstats_; }
   LockModel lock_model() const { return cfg_.lock_model; }
+  MigrationMode migration_mode() const { return cfg_.migration_mode; }
 
   /// Selects which move_pages implementation sys_move_pages uses.
   void set_move_pages_impl(MovePagesImpl impl) { move_impl_ = impl; }
@@ -413,6 +436,8 @@ class Kernel {
   void numab_note_task_swap();
 
  private:
+  friend class TxnMigrator;  // the state machine charges/traces through us
+
   struct Process {
     Pid pid = 0;
     std::string name;
@@ -533,6 +558,37 @@ class Kernel {
                                 sim::Time control_cost, sim::CostKind control_kind,
                                 sim::CostKind copy_kind, CopyBatch* copies);
 
+  /// Terminal outcome of one transactional migration attempt. kDegraded
+  /// means the shadow frame was released and the page is untouched: the
+  /// caller must stop-and-copy it, or defer it (numab promotion).
+  enum class TxnResult : std::uint8_t { kCommitted, kDegraded };
+
+  /// Drive one TxnMigrator to a terminal state, wrapped in a "txn-migrate"
+  /// span. Defined in txn_migrate.cpp.
+  TxnResult do_migrate_page_txn(ThreadCtx& t, Process& p, vm::Vpn vpn,
+                                topo::NodeId target, sim::CostKind control_kind,
+                                sim::CostKind copy_kind);
+
+  /// Should this page go through the transactional engine? (Mode selected
+  /// AND the page is an ordinary mapped base page — replicas and huge
+  /// blocks keep their existing paths.)
+  bool txn_eligible(const vm::Pte& pte) const {
+    return cfg_.migration_mode == MigrationMode::kTransactional &&
+           !(pte.flags & (vm::Pte::kReplica | vm::Pte::kHuge));
+  }
+
+  /// Serialized per-page share of a migration batch under the current
+  /// migration mode: transactional batches only contend on their commit
+  /// flips (copies run outside the critical section), so the stop-and-copy
+  /// constants are replaced by the far smaller txn commit shares.
+  sim::Time migrate_serial_per_page(sim::Time stop_and_copy_share) const {
+    if (cfg_.migration_mode != MigrationMode::kTransactional)
+      return stop_and_copy_share;
+    return cfg_.lock_model == LockModel::kRange
+               ? cost_.txn_range_commit_serial_per_page
+               : cost_.txn_commit_serial_per_page;
+  }
+
   // Un-instrumented syscall bodies; the public entry points wrap them in a
   // span so early returns don't escape the timing.
   SyscallResult do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
@@ -580,9 +636,13 @@ class Kernel {
   /// kmigrated batch execution: validate-free walk of one range, performing
   /// the page moves with all time charged to `node`'s daemon timeline
   /// starting at `submit`. Returns pages queued.
+  /// `defer_on_degrade`: in transactional mode, a page whose transaction
+  /// degrades is skipped (to be retried by a later pass — numab promotion)
+  /// instead of stop-and-copied on the daemon's timeline.
   std::uint64_t submit_kmigrated_batch(ThreadCtx& t, Process& p, vm::Vaddr addr,
                                        std::uint64_t len, topo::NodeId node,
-                                       sim::Time submit);
+                                       sim::Time submit,
+                                       bool defer_on_degrade = false);
 
   /// Next-touch migrate-ahead (cfg_.nt_async_window > 0): after a next-touch
   /// fault migrates one page synchronously, hand up to `window` further
@@ -658,6 +718,7 @@ class Kernel {
   obs::Histogram* h_shootdown_rounds_ = nullptr;
   obs::Histogram* h_kmigrated_batch_ = nullptr;
   obs::Histogram* h_numab_scan_ = nullptr;
+  obs::Histogram* h_txn_retries_ = nullptr;
   FaultInjector* injector_ = nullptr;
   std::unique_ptr<FaultInjector> owned_injector_;  // from cfg_.fault_plan
   std::vector<std::unique_ptr<Process>> procs_;

@@ -28,7 +28,13 @@ Kernel::Kernel(KernelConfig cfg)
   }
 }
 
-Kernel::~Kernel() { set_metrics(nullptr); }
+Kernel::~Kernel() {
+  // Async kmigrated batches still in flight die with the kernel; account
+  // them before detaching so an attached registry folds the count into
+  // "kern.kmigrated.dropped" instead of losing it silently.
+  kstats_.kmigrated_dropped_at_teardown += kmigrated_.total_inflight(kmig_now_);
+  set_metrics(nullptr);
+}
 
 void Kernel::add_trace_sink(obs::TraceSink* sink) {
   if (sink == nullptr) return;
@@ -56,7 +62,7 @@ void Kernel::set_metrics(obs::Registry* reg) {
   }
   metrics_ = reg;
   h_fault_ = h_migrate_page_ = h_lock_wait_ = h_shootdown_rounds_ =
-      h_kmigrated_batch_ = h_numab_scan_ = nullptr;
+      h_kmigrated_batch_ = h_numab_scan_ = h_txn_retries_ = nullptr;
   if (reg == nullptr) return;
 
   reg->bind_counter("kern.minor_faults", &kstats_.minor_faults);
@@ -82,6 +88,13 @@ void Kernel::set_metrics(obs::Registry* reg) {
                     &kstats_.kmigrated_batches_dropped);
   reg->bind_counter("kern.kmigrated.pages_failed",
                     &kstats_.kmigrated_pages_failed);
+  reg->bind_counter("kern.kmigrated.dropped",
+                    &kstats_.kmigrated_dropped_at_teardown);
+  reg->bind_counter("kern.migrate.txn.commits", &kstats_.txn_commits);
+  reg->bind_counter("kern.migrate.txn.dirty_retries",
+                    &kstats_.txn_dirty_retries);
+  reg->bind_counter("kern.migrate.txn.degraded", &kstats_.txn_degraded);
+  reg->bind_counter("kern.migrate.txn.aborted", &kstats_.txn_aborted);
   reg->bind_counter("kern.numab.scans", &kstats_.numab_scans);
   reg->bind_counter("kern.numab.pages_scanned", &kstats_.numab_pages_scanned);
   reg->bind_counter("kern.numab.hint_faults", &kstats_.numab_hint_faults);
@@ -110,6 +123,7 @@ void Kernel::set_metrics(obs::Registry* reg) {
   h_shootdown_rounds_ = &reg->histogram("kern.shootdown_rounds");
   h_kmigrated_batch_ = &reg->histogram("kern.kmigrated.batch_latency_ns");
   h_numab_scan_ = &reg->histogram("kern.numab.scan_pages");
+  h_txn_retries_ = &reg->histogram("kern.migrate.txn.retries");
 }
 
 void Kernel::trace_slow(const ThreadCtx& t, EventType type, vm::Vpn vpn,
@@ -381,8 +395,24 @@ Kernel::MigrateResult Kernel::migrate_page(ThreadCtx& t, Process& p, vm::Pte& pt
                                            CopyBatch* copies) {
   const sim::Time begin = t.clock;
   const topo::NodeId from = phys_.node_of(pte.frame);
-  const MigrateResult r = do_migrate_page(t, p, pte, vpn, target, control_cost,
-                                          control_kind, copy_kind, copies);
+  MigrateResult r;
+  if (txn_eligible(pte)) {
+    // Transactional engine first; a degraded transaction released its
+    // shadow frame and left the page untouched, so it falls through to the
+    // stop-and-copy pipeline below (the degradation ladder).
+    if (do_migrate_page_txn(t, p, vpn, target, control_kind, copy_kind) ==
+        TxnResult::kCommitted) {
+      r = MigrateResult::kOk;
+    } else {
+      ++kstats_.txn_degraded;
+      trace(t, EventType::kTxnDegraded, vpn, 1, from, target);
+      r = do_migrate_page(t, p, pte, vpn, target, control_cost, control_kind,
+                          copy_kind, copies);
+    }
+  } else {
+    r = do_migrate_page(t, p, pte, vpn, target, control_cost, control_kind,
+                        copy_kind, copies);
+  }
   // Per-page pipeline latency. Batched callers defer the copy into `copies`,
   // so their samples cover the control path only (the copy is attributed to
   // the batch flush); inline callers include it.
@@ -631,6 +661,17 @@ bool Kernel::do_handle_fault(ThreadCtx& t, Process& p, vm::Vaddr addr,
     return false;
   }
 
+  if (pte.flags & vm::Pte::kTxn) {
+    // Write fault on a page mid-transaction: drop the protection and let
+    // the writer proceed immediately — it never waits for the migration.
+    // The writer's access then bumps the write generation, so the verify
+    // step sees the page dirty and loops through the retry path.
+    charge(t, cost_.pte_update + cost_.tlb_flush_local, sim::CostKind::kPageFault);
+    pte.clear(vm::Pte::kTxn);
+    pte.restore_hw(vma->prot);
+    return false;
+  }
+
   if (pte.next_touch()) {
     ++kstats_.nexttouch_faults;
     const topo::NodeId local = topo_.node_of_core(t.core);
@@ -723,7 +764,11 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
       handle_fault(t, p, lo, want, res, &copies);
       pte = pt.find(vpn);
     }
-    if (prot_allows(want, vm::Prot::kWrite)) pte->set(vm::Pte::kDirty);
+    if (prot_allows(want, vm::Prot::kWrite)) {
+      pte->set(vm::Pte::kDirty);
+      ++pte->write_gen;
+      pte->last_write = t.clock;
+    }
 
     topo::NodeId node = phys_.node_of(pte->frame);
     if ((pte->flags & vm::Pte::kReplica) && !prot_allows(want, vm::Prot::kWrite))
@@ -737,10 +782,10 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   flush_copy_batch(t, copies, sim::CostKind::kNextTouchCopy);
   if (cfg_.lock_model == LockModel::kRange) {
     serialize_migration_ranged(t, p, addr, end, entry, res.nexttouch_migrations,
-                               cost_.nt_range_serial_per_page);
+                               migrate_serial_per_page(cost_.nt_range_serial_per_page));
   } else {
     serialize_migration(t, p, entry, res.nexttouch_migrations,
-                        cost_.nt_serial_per_page);
+                        migrate_serial_per_page(cost_.nt_serial_per_page));
   }
   if (!p.numab.pending.empty()) numab_flush_promotions(t, p);
   return res;
@@ -789,7 +834,11 @@ AccessResult Kernel::access_strided(ThreadCtx& t, vm::Vaddr base,
         handle_fault(t, p, lo, want, res, &copies);
         pte = pt.find(vpn);
       }
-      if (prot_allows(want, vm::Prot::kWrite)) pte->set(vm::Pte::kDirty);
+      if (prot_allows(want, vm::Prot::kWrite)) {
+        pte->set(vm::Pte::kDirty);
+        ++pte->write_gen;
+        pte->last_write = t.clock;
+      }
       topo::NodeId node = phys_.node_of(pte->frame);
       if ((pte->flags & vm::Pte::kReplica) && !prot_allows(want, vm::Prot::kWrite))
         node = resolve_replica(t, p, *pte, vpn, core_node, &copies);
@@ -816,10 +865,10 @@ AccessResult Kernel::access_strided(ThreadCtx& t, vm::Vaddr base,
     serialize_migration_ranged(t, p, base,
                                base + (rows - 1) * stride_bytes + row_bytes,
                                entry, res.nexttouch_migrations,
-                               cost_.nt_range_serial_per_page);
+                               migrate_serial_per_page(cost_.nt_range_serial_per_page));
   } else {
     serialize_migration(t, p, entry, res.nexttouch_migrations,
-                        cost_.nt_serial_per_page);
+                        migrate_serial_per_page(cost_.nt_serial_per_page));
   }
   if (!p.numab.pending.empty()) numab_flush_promotions(t, p);
   return res;
@@ -937,8 +986,11 @@ bool Kernel::poke(Pid pid, vm::Vaddr addr, std::span<const std::byte> in) {
   std::uint64_t done = 0;
   while (done < in.size()) {
     const vm::Vaddr a = addr + done;
-    const vm::Pte* pte = p.as.page_table().find(vm::vpn_of(a));
+    vm::Pte* pte = p.as.page_table().find(vm::vpn_of(a));
     if (pte == nullptr || !pte->present()) return false;
+    // Timing-free, but still a write: the transactional migrator's dirty
+    // check must see it (tests poke pages mid-transaction).
+    ++pte->write_gen;
     std::byte* data = phys_.data(pte->frame);
     if (data == nullptr) return false;
     const std::uint64_t off = a & (mem::kPageSize - 1);
@@ -986,6 +1038,8 @@ void Kernel::validate(Pid pid) const {
         throw std::logic_error{"validate: numa-hint PTE with live hw read bit"};
       if (pte->numa_hint() && pte->next_touch())
         throw std::logic_error{"validate: PTE both numa-hint and next-touch"};
+      if ((pte->flags & vm::Pte::kTxn) && pte->hw_allows(vm::Prot::kWrite))
+        throw std::logic_error{"validate: txn-protected PTE with live hw write bit"};
       const std::uint64_t nrep = p.replicas.replica_count(vpn);
       if (nrep != 0 && !(pte->flags & vm::Pte::kReplica))
         throw std::logic_error{"validate: replicas without kReplica flag"};
@@ -1003,10 +1057,14 @@ void Kernel::validate(Pid pid) const {
       }
     }
   });
-  // Single-process kernels: everything allocated must be referenced.
-  if (procs_.size() == 1 && referenced != phys_.total_used_frames())
+  // Single-process kernels: everything allocated must be referenced — plus
+  // any shadow frames held by in-flight transactional migrations, which by
+  // design have no PTE pointing at them yet.
+  const std::uint64_t shadow = phys_.total_shadow_frames();
+  if (procs_.size() == 1 && referenced + shadow != phys_.total_used_frames())
     throw std::logic_error{"validate: frame leak or double-use (" +
-                           std::to_string(referenced) + " referenced vs " +
+                           std::to_string(referenced) + " referenced + " +
+                           std::to_string(shadow) + " shadow vs " +
                            std::to_string(phys_.total_used_frames()) + " used)"};
 }
 

@@ -95,9 +95,11 @@ SyscallResult Kernel::do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t le
       if (pte == nullptr || !pte->present()) continue;
       ++present;
       // An explicit protection change supersedes a pending next-touch or
-      // NUMA-hint mark, and granting write on a replicated page forces a
+      // NUMA-hint mark — and an in-flight transactional migration's write
+      // protection (the migrator sees the cleared kTxn as a dirty hit and
+      // retries or aborts). Granting write on a replicated page forces a
       // collapse (the per-node copies would otherwise go incoherent).
-      pte->clear(vm::Pte::kNextTouch | vm::Pte::kNumaHint);
+      pte->clear(vm::Pte::kNextTouch | vm::Pte::kNumaHint | vm::Pte::kTxn);
       if ((pte->flags & vm::Pte::kReplica) && prot_allows(prot, vm::Prot::kWrite))
         collapse_replicas(t, p, *pte, vpn, topo_.node_of_core(t.core));
       pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
@@ -278,9 +280,10 @@ SyscallResult Kernel::do_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   flush_copy_batch(t, copies, sim::CostKind::kMovePagesCopy);
   if (cfg_.lock_model == LockModel::kRange) {
     serialize_migration_ranged(t, p, addr, addr + len, entry, moved,
-                               cost_.range_serial_per_page);
+                               migrate_serial_per_page(cost_.range_serial_per_page));
   } else {
-    serialize_migration(t, p, entry, moved, cost_.move_pages_serial_per_page);
+    serialize_migration(t, p, entry, moved,
+                        migrate_serial_per_page(cost_.move_pages_serial_per_page));
   }
   return 0;
 }
@@ -414,6 +417,33 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
     charge(t, unlocked_total + locked_total, sim::CostKind::kMovePagesControl);
   }
 
+  if (!query_only && cfg_.migration_mode == MigrationMode::kTransactional) {
+    // Transactional engine: each page runs its own shadow-copy transaction,
+    // with the copies outside any critical section. A degraded transaction
+    // falls back to stop-and-copy inside migrate_page, so a retry-exhausted
+    // or faulted page surfaces as its own per-page status — never as a
+    // batch failure.
+    for (const Move& m : moves) {
+      const vm::Vpn vpn = vm::vpn_of(chunk[m.i]);
+      vm::Pte* pte = p.as.page_table().find(vpn);
+      assert(pte != nullptr);
+      switch (migrate_page(t, p, *pte, vpn, m.to, 0,
+                           sim::CostKind::kMovePagesControl,
+                           sim::CostKind::kMovePagesCopy, nullptr)) {
+        case MigrateResult::kOk:
+          pte->clear(vm::Pte::kNextTouch);
+          status[m.i] = static_cast<int>(phys_.node_of(pte->frame));
+          ++kstats_.pages_migrated_move;
+          break;
+        case MigrateResult::kNoMem:
+          status[m.i] = -kENOMEM;
+          break;
+        case MigrateResult::kCopyFail:
+          status[m.i] = -kEAGAIN;
+          break;
+      }
+    }
+  } else {
   // Isolate→alloc: destination frames come strictly from the requested node
   // (as Linux's new_page_node with __GFP_THISNODE). A failed allocation
   // degrades this page to -ENOMEM *before* any copy bandwidth is spent; the
@@ -482,15 +512,16 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
     status[m.i] = static_cast<int>(phys_.node_of(m.nf));
     ++kstats_.pages_migrated_move;
   }
+  }  // stop-and-copy path
   if (!moves.empty())
     trace(t, EventType::kMovePages, vm::vpn_of(chunk[moves.front().i]), moves.size(),
           moves.front().from, moves.front().to);
   if (cfg_.lock_model == LockModel::kRange) {
     serialize_migration_ranged(t, p, span_lo, span_hi, entry, moves.size(),
-                               cost_.range_serial_per_page);
+                               migrate_serial_per_page(cost_.range_serial_per_page));
   } else {
     serialize_migration(t, p, entry, moves.size(),
-                        cost_.move_pages_serial_per_page);
+                        migrate_serial_per_page(cost_.move_pages_serial_per_page));
   }
   if (!sinks_.empty()) {
     obs::TraceEvent e;
@@ -584,10 +615,11 @@ SyscallResult Kernel::do_move_pages_ranged(ThreadCtx& t,
     flush_copy_batch(t, copies, sim::CostKind::kMovePagesCopy);
     if (cfg_.lock_model == LockModel::kRange) {
       serialize_migration_ranged(t, p, r.addr, r.addr + r.len, entry,
-                                 batch_moved, cost_.range_serial_per_page);
+                                 batch_moved,
+                                 migrate_serial_per_page(cost_.range_serial_per_page));
     } else {
       serialize_migration(t, p, entry, batch_moved,
-                          cost_.move_pages_serial_per_page);
+                          migrate_serial_per_page(cost_.move_pages_serial_per_page));
     }
     moved += static_cast<long>(batch_moved);
     if (tracing() && batch_moved > 0)

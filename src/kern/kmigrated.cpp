@@ -39,7 +39,8 @@ SyscallResult Kernel::do_move_pages_async(ThreadCtx& t,
 std::uint64_t Kernel::submit_kmigrated_batch(ThreadCtx& t, Process& p,
                                              vm::Vaddr addr, std::uint64_t len,
                                              topo::NodeId node,
-                                             sim::Time submit) {
+                                             sim::Time submit,
+                                             bool defer_on_degrade) {
   if (kmig_now_ < submit) kmig_now_ = submit;
   const std::uint64_t npages =
       vm::vpn_of(vm::page_align_up(addr + len)) - vm::vpn_of(addr);
@@ -65,6 +66,15 @@ std::uint64_t Kernel::submit_kmigrated_batch(ThreadCtx& t, Process& p,
   sim::Time service = cost_.kmigrated_batch_base;
   sim::Time copy_cursor = start;
   std::uint64_t moved = 0;
+  // Daemon execution context for the transactional engine: TxnMigrator bills
+  // a ThreadCtx, so the daemon gets a scratch one whose clock is the batch
+  // slot. Its stats are discarded — nothing here bills the submitter.
+  const bool txn = cfg_.migration_mode == MigrationMode::kTransactional;
+  ThreadCtx dt;
+  dt.tid = t.tid;
+  dt.pid = p.pid;
+  dt.core = t.core;
+  dt.clock = start + cost_.kmigrated_batch_base;
   const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
   for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
     vm::Pte* pte = p.as.page_table().find(vpn);
@@ -72,7 +82,33 @@ std::uint64_t Kernel::submit_kmigrated_batch(ThreadCtx& t, Process& p,
       continue;
     const bool was_nt = pte->next_touch();
     const topo::NodeId from = phys_.node_of(pte->frame);
-    if (from != node) {
+    if (from != node && txn) {
+      if (do_migrate_page_txn(dt, p, vpn, node,
+                              sim::CostKind::kMovePagesControl,
+                              sim::CostKind::kMovePagesCopy) ==
+          TxnResult::kCommitted) {
+        ++moved;
+        ++kstats_.kmigrated_pages;
+      } else {
+        ++kstats_.txn_degraded;
+        trace(dt, EventType::kTxnDegraded, vpn, 1, from, node);
+        if (defer_on_degrade) continue;  // left in place for a later pass
+        switch (do_migrate_page(dt, p, *pte, vpn, node,
+                                cost_.move_pages_range_page_control,
+                                sim::CostKind::kMovePagesControl,
+                                sim::CostKind::kMovePagesCopy, nullptr)) {
+          case MigrateResult::kOk:
+            ++moved;
+            ++kstats_.kmigrated_pages;
+            break;
+          case MigrateResult::kNoMem:
+          case MigrateResult::kCopyFail:
+            // do_migrate_page already counted migrations_failed + traced.
+            ++kstats_.kmigrated_pages_failed;
+            break;
+        }
+      }
+    } else if (from != node) {
       const mem::FrameId nf = alloc_migration_frame(node);
       if (nf == mem::kInvalidFrame) {
         // Per-page ENOMEM degrades just this page; the original mapping is
@@ -106,12 +142,16 @@ std::uint64_t Kernel::submit_kmigrated_batch(ThreadCtx& t, Process& p,
     }
   }
   if (moved > 0) {
-    // One coalesced shootdown round for the whole batch.
-    service += cost_.tlb_shootdown_round(topo_.num_cores(), moved);
+    // One coalesced shootdown round for the whole batch. (Each transactional
+    // commit only flushed locally; the remote round lands here.)
+    const sim::Time round = cost_.tlb_shootdown_round(topo_.num_cores(), moved);
+    if (txn) dt.clock += round;
+    else service += round;
     ++kstats_.tlb_shootdowns;
   }
 
-  const sim::Time busy_until = std::max(start + service, copy_cursor);
+  const sim::Time busy_until =
+      txn ? dt.clock : std::max(start + service, copy_cursor);
   const sim::Slot slot = kmigrated_.submit(node, start, busy_until - start);
   ++kstats_.kmigrated_batches;
   if (h_kmigrated_batch_ != nullptr)

@@ -100,8 +100,11 @@ void Kernel::numab_scan(ThreadCtx& t, Process& p) {
       for (; vpn < vend && marked < nb.scan_size_pages; ++vpn) {
         vm::Pte* pte = p.as.page_table().find(vpn);
         if (pte == nullptr || !pte->present()) continue;
+        // kTxn pages are mid-transaction: marking them would invalidate the
+        // migrator's hw-bit snapshot, so the scanner leaves them alone.
         if (pte->flags & (vm::Pte::kHuge | vm::Pte::kReplica |
-                          vm::Pte::kNextTouch | vm::Pte::kNumaHint))
+                          vm::Pte::kNextTouch | vm::Pte::kNumaHint |
+                          vm::Pte::kTxn))
           continue;
         pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
         pte->set(vm::Pte::kNumaHint);
@@ -183,8 +186,13 @@ void Kernel::numab_flush_promotions(ThreadCtx& t, Process& p) {
     const topo::NodeId target = pend[i].second;
     charge(t, cost_.kmigrated_submit, sim::CostKind::kNumaHint);
     trace(t, EventType::kNumaPromote, first, npages, topo::kInvalidNode, target);
-    kstats_.numab_pages_promoted += submit_kmigrated_batch(
-        t, p, vm::addr_of(first), npages * mem::kPageSize, target, t.clock);
+    // A degraded transaction defers the page: the next scan pass will see the
+    // hint fault again and re-promote, so there is no point stop-and-copying
+    // a page the balancer only *suspects* is hot.
+    kstats_.numab_pages_promoted +=
+        submit_kmigrated_batch(t, p, vm::addr_of(first),
+                               npages * mem::kPageSize, target, t.clock,
+                               /*defer_on_degrade=*/true);
     i = j;
   }
   pend.clear();

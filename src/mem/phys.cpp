@@ -93,8 +93,32 @@ void PhysMem::set_node_capacity(topo::NodeId n, std::uint64_t frames) {
   per_node_[n].capacity = std::min(frames, per_node_[n].base_capacity);
 }
 
+void PhysMem::mark_shadow(FrameId f) {
+  assert(is_live(f));
+  if (!frames_[f].shadow) {
+    frames_[f].shadow = true;
+    ++per_node_[frames_[f].node].shadow;
+  }
+}
+
+void PhysMem::clear_shadow(FrameId f) {
+  assert(f < frames_.size());
+  if (frames_[f].shadow) {
+    frames_[f].shadow = false;
+    assert(per_node_[frames_[f].node].shadow > 0);
+    --per_node_[frames_[f].node].shadow;
+  }
+}
+
+std::uint64_t PhysMem::total_shadow_frames() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : per_node_) sum += p.shadow;
+  return sum;
+}
+
 void PhysMem::free(FrameId f) {
   assert(f < frames_.size() && frames_[f].in_use);
+  clear_shadow(f);
   Frame& frame = frames_[f];
   frame.in_use = false;
   NodePool& pool = per_node_[frame.node];

@@ -71,6 +71,21 @@ class PhysMem {
 
   topo::NodeId node_of(FrameId f) const { return frames_[f].node; }
 
+  // --- shadow-frame accounting (transactional migration) ---------------------
+  /// Mark/unmark `f` as a transactional shadow frame: a second physical copy
+  /// of a still-mapped page, held only between the shadow copy and the
+  /// commit flip (or abort). No PTE references it, so the consistency audit
+  /// accounts for it separately; free() drops the mark automatically.
+  void mark_shadow(FrameId f);
+  void clear_shadow(FrameId f);
+  bool is_shadow(FrameId f) const {
+    return f < frames_.size() && frames_[f].in_use && frames_[f].shadow;
+  }
+  std::uint64_t shadow_frames(topo::NodeId n) const {
+    return per_node_[n].shadow;
+  }
+  std::uint64_t total_shadow_frames() const;
+
   /// Pressure counters: allocations denied only by the min watermark, and
   /// reserve-pool allocations that dipped below it.
   std::uint64_t watermark_blocks(topo::NodeId n) const {
@@ -109,6 +124,7 @@ class PhysMem {
     topo::NodeId node = topo::kInvalidNode;
     bool in_use = false;
     std::unique_ptr<std::byte[]> data;
+    bool shadow = false;  ///< held by an in-flight transactional migration
   };
   struct NodePool {
     std::uint64_t capacity = 0;
@@ -118,6 +134,7 @@ class PhysMem {
     std::uint64_t wm_low = 0;  // pressure threshold
     std::uint64_t watermark_blocks = 0;
     std::uint64_t reserve_allocs = 0;
+    std::uint64_t shadow = 0;  // live frames currently marked shadow
     std::vector<FrameId> free_list;  // frames returned by free()
   };
 

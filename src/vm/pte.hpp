@@ -43,6 +43,11 @@ struct Pte {
   /// AutoNUMA hint marker (pte_protnone): the scan clock cleared the hw
   /// bits so the next ordinary access takes a NUMA hint fault.
   static constexpr std::uint16_t kNumaHint = 1u << 8;
+  /// A transactional migration (kern/txn_migrate) has write-protected this
+  /// page between its shadow copy and the commit flip. A write fault clears
+  /// it and restores write access immediately — the writer never waits for
+  /// the migration; the verify step then sees the dirtied generation.
+  static constexpr std::uint16_t kTxn = 1u << 9;
 
   /// `numa_last` value meaning "no hint fault recorded yet".
   static constexpr std::uint8_t kNoNumaNode = 0xFF;
@@ -52,6 +57,13 @@ struct Pte {
   /// Node of the last hint fault on this page (two-reference confirmation,
   /// like page_cpupid_last); kNoNumaNode until the first hint fault.
   std::uint8_t numa_last = kNoNumaNode;
+  /// Write-generation stamp: bumped on every write access (and poke), never
+  /// timed. The transactional migrator snapshots it before the shadow copy
+  /// and re-verifies it before the commit flip — the simulated dirty bit
+  /// race window.
+  std::uint32_t write_gen = 0;
+  /// Simulated instant of the last timed write access to this page.
+  std::uint64_t last_write = 0;
 
   bool present() const { return flags & kPresent; }
   bool next_touch() const { return flags & kNextTouch; }

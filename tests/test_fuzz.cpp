@@ -19,10 +19,14 @@ class Fuzzer {
  public:
   /// `fault_spec` arms a FaultInjector (seeded from the fuzz seed) for the
   /// whole run, so every kernel path is exercised under injected failures.
+  /// `mode` selects the migration engine (the transactional engine must
+  /// uphold the same invariants as stop-and-copy under every plan).
   Fuzzer(std::uint64_t seed, mem::Backing backing,
-         std::string_view fault_spec = {})
+         std::string_view fault_spec = {},
+         MigrationMode mode = MigrationMode::kStopAndCopy)
       : topo_(topo::Topology::quad_opteron()),
         k_(kern::KernelConfig{.topology = topo_, .backing = backing,
+                             .migration_mode = mode,
                              .max_frames_per_node = 4096}),
         rng_(seed) {
     k_.set_replication_enabled(true);
@@ -222,6 +226,55 @@ INSTANTIATE_TEST_SUITE_P(
                                                        : "Exhaustion";
       return std::string(plan) + "Seed" + std::to_string(std::get<0>(pinfo.param));
     });
+
+// --- the transactional engine under the same chaos ---------------------------
+//
+// Every plan rerun with migration_mode=kTransactional: injected copy faults
+// must land in the bounded dirty-retry loop (transient) or the abort ->
+// stop-and-copy degradation ladder (permanent), and no outcome may leak a
+// shadow frame or leave a kTxn-protected PTE behind (validate checks both).
+
+class TxnFaultFuzzTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::string_view>> {};
+
+TEST_P(TxnFaultFuzzTest, InjectedFailuresKeepInvariants) {
+  const auto [seed, plan] = GetParam();
+  Fuzzer f(seed, mem::Backing::kMaterialized, plan,
+           MigrationMode::kTransactional);
+  for (int i = 0; i < 200; ++i) f.step();
+  f.finish();
+  EXPECT_EQ(f.kernel().phys().total_shadow_frames(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, TxnFaultFuzzTest,
+    ::testing::Combine(::testing::Values(1, 42, 0xdeadbeef),
+                       ::testing::Values(kPlanAllocFail, kPlanCopyFail,
+                                         kPlanExhaustion)),
+    [](const auto& pinfo) {
+      const char* plan =
+          std::get<1>(pinfo.param) == kPlanAllocFail   ? "AllocFail"
+          : std::get<1>(pinfo.param) == kPlanCopyFail  ? "CopyFail"
+                                                       : "Exhaustion";
+      return std::string(plan) + "Seed" + std::to_string(std::get<0>(pinfo.param));
+    });
+
+TEST(TxnFaultFuzzDeterminism, SameSeedAndPlanGiveIdenticalOutcome) {
+  auto run = [](std::uint64_t seed) {
+    Fuzzer f(seed, mem::Backing::kPhantom, kPlanCopyFail,
+             MigrationMode::kTransactional);
+    for (int i = 0; i < 150; ++i) f.step();
+    const KernelStats s = f.kernel().stats();
+    const FaultInjector::Counters c = f.injector().counters();
+    f.finish();
+    return std::tuple{s.pages_migrated_move,  s.migrations_failed,
+                      s.txn_commits,          s.txn_dirty_retries,
+                      s.txn_degraded,         s.txn_aborted,
+                      c.copies_checked,       c.copies_transient,
+                      c.copies_permanent,     c.shootdowns_dropped};
+  };
+  EXPECT_EQ(run(0xabcd), run(0xabcd));
+}
 
 TEST(FaultFuzzDeterminism, SameSeedAndPlanGiveIdenticalOutcome) {
   auto run = [](std::uint64_t seed) {
