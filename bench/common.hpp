@@ -36,6 +36,12 @@ struct Options {
   /// Stop-and-copy is the paper-faithful default; transactional is the
   /// shadow-copy engine (kern/txn_migrate.hpp).
   kern::MigrationMode migration_mode = kern::MigrationMode::kStopAndCopy;
+  /// Topology-spec override ("--tier-spec=..."), validated at parse time.
+  /// Empty keeps each binary's built-in machine. A tiered spec also turns
+  /// the kernel's tier promotion/demotion loops on (phantom_kernel_config).
+  std::string tier_spec;
+  /// Tier demotion ("--demotion=on|off"); only meaningful on tiered specs.
+  bool demotion = true;
 };
 
 /// The run's parsed options; parse_options() fills it so measurement helpers
@@ -51,6 +57,7 @@ inline void print_usage(const char* prog) {
                "usage: %s [--csv] [--quick] [--metrics] [--trace=FILE]\n"
                "          [--lock-model=coarse|range]\n"
                "          [--migration-mode=stop_and_copy|transactional]\n"
+               "          [--tier-spec=SPEC] [--demotion=on|off]\n"
                "  --csv          machine-readable output\n"
                "  --quick        reduced sweeps for smoke runs\n"
                "  --metrics      print a metrics report to stderr on exit\n"
@@ -60,11 +67,59 @@ inline void print_usage(const char* prog) {
                "                 default) or range (scalable engine)\n"
                "  --migration-mode=M  page-migration engine: stop_and_copy\n"
                "                 (paper-faithful default) or transactional\n"
-               "                 (shadow-copy with dirty retry)\n",
+               "                 (shadow-copy with dirty retry)\n"
+               "  --tier-spec=S  override the machine with a topology spec\n"
+               "                 (topo::Topology::from_spec grammar, e.g.\n"
+               "                 \"nodes=2 cores=4 tiers=fast:1,dram:1\");\n"
+               "                 a tiered spec enables tier promote/demote\n"
+               "  --demotion=D   tier demotion on|off (default on; only\n"
+               "                 meaningful with a tiered --tier-spec)\n",
                prog);
 }
 
+/// One name -> value row of an enum-valued command-line flag.
+template <typename E>
+struct EnumFlagOption {
+  const char* name;
+  E value;
+};
+
+/// Match `arg` against `--<flag>=<value>` where <value> must name a row of
+/// `table`. Returns false when `arg` is not this flag at all; on a matching
+/// flag with an unknown value, prints the allowed set + usage and exits 2.
+template <typename E, std::size_t N>
+inline bool parse_enum_flag(const char* prog, const char* arg, const char* flag,
+                            const EnumFlagOption<E> (&table)[N], E& out) {
+  const std::size_t flen = std::strlen(flag);
+  if (std::strncmp(arg, flag, flen) != 0 || arg[flen] != '=') return false;
+  const char* v = arg + flen + 1;
+  for (const EnumFlagOption<E>& opt : table) {
+    if (std::strcmp(v, opt.name) == 0) {
+      out = opt.value;
+      return true;
+    }
+  }
+  std::fprintf(stderr, "%s: bad %s '%s' (", prog, flag, v);
+  for (std::size_t i = 0; i < N; ++i)
+    std::fprintf(stderr, "%s%s", i == 0 ? "" : "|", table[i].name);
+  std::fprintf(stderr, ")\n");
+  print_usage(prog);
+  std::exit(2);
+}
+
 inline Options parse_options(int argc, char** argv) {
+  static constexpr EnumFlagOption<kern::LockModel> kLockModels[] = {
+      {"coarse", kern::LockModel::kCoarse},
+      {"range", kern::LockModel::kRange},
+  };
+  static constexpr EnumFlagOption<kern::MigrationMode> kMigrationModes[] = {
+      {"stop_and_copy", kern::MigrationMode::kStopAndCopy},
+      {"transactional", kern::MigrationMode::kTransactional},
+  };
+  static constexpr EnumFlagOption<bool> kOnOff[] = {
+      {"on", true},
+      {"off", false},
+  };
   Options o;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -76,28 +131,19 @@ inline Options parse_options(int argc, char** argv) {
       o.metrics = true;
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       o.trace_file = a + 8;
-    } else if (std::strncmp(a, "--lock-model=", 13) == 0) {
-      const char* m = a + 13;
-      if (std::strcmp(m, "coarse") == 0) {
-        o.lock_model = kern::LockModel::kCoarse;
-      } else if (std::strcmp(m, "range") == 0) {
-        o.lock_model = kern::LockModel::kRange;
-      } else {
-        std::fprintf(stderr, "%s: bad --lock-model '%s' (coarse|range)\n",
-                     argv[0], m);
-        std::exit(2);
-      }
-    } else if (std::strncmp(a, "--migration-mode=", 17) == 0) {
-      const char* m = a + 17;
-      if (std::strcmp(m, "stop_and_copy") == 0) {
-        o.migration_mode = kern::MigrationMode::kStopAndCopy;
-      } else if (std::strcmp(m, "transactional") == 0) {
-        o.migration_mode = kern::MigrationMode::kTransactional;
-      } else {
-        std::fprintf(stderr,
-                     "%s: bad --migration-mode '%s' "
-                     "(stop_and_copy|transactional)\n",
-                     argv[0], m);
+    } else if (parse_enum_flag(argv[0], a, "--lock-model", kLockModels,
+                               o.lock_model) ||
+               parse_enum_flag(argv[0], a, "--migration-mode", kMigrationModes,
+                               o.migration_mode) ||
+               parse_enum_flag(argv[0], a, "--demotion", kOnOff, o.demotion)) {
+      // handled
+    } else if (std::strncmp(a, "--tier-spec=", 12) == 0) {
+      o.tier_spec = a + 12;
+      try {
+        (void)topo::Topology::from_spec(o.tier_spec);
+      } catch (const topo::SpecError& e) {
+        std::fprintf(stderr, "%s: bad --tier-spec: %s\n", argv[0], e.what());
+        print_usage(argv[0]);
         std::exit(2);
       }
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
@@ -261,13 +307,19 @@ inline void expect_on_node(rt::Thread& th, vm::Vaddr addr, std::uint64_t len,
 }
 
 /// Phantom-backed kernel config on topology `t`, honoring the run's
-/// machine-wide options (currently the lock model).
+/// machine-wide options (lock model, migration mode, tier spec/demotion).
+/// A `--tier-spec` override replaces `t`; tier promotion/demotion is enabled
+/// exactly when the resulting topology is tiered, so flat runs are
+/// bit-identical with and without the tier code.
 inline kern::KernelConfig phantom_kernel_config(const topo::Topology& t) {
   kern::KernelConfig cfg;
-  cfg.topology = t;
+  const Options& o = current_options();
+  cfg.topology = o.tier_spec.empty() ? t : topo::Topology::from_spec(o.tier_spec);
   cfg.backing = mem::Backing::kPhantom;
-  cfg.lock_model = current_options().lock_model;
-  cfg.migration_mode = current_options().migration_mode;
+  cfg.lock_model = o.lock_model;
+  cfg.migration_mode = o.migration_mode;
+  cfg.tiers.enabled = cfg.topology.tiered();
+  cfg.tiers.demotion = o.demotion;
   return cfg;
 }
 

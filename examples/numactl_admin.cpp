@@ -7,6 +7,11 @@
 // then gives each its own half of the machine and migrates their memory
 // wholesale, watching placement through numa_maps and the event trace.
 //
+// Compat note: this example used to consume the raw Linux ABI long from
+// sys_migrate_pages (negative errno or moved-count); it now keeps the typed
+// kern::SyscallResult and reads .ok()/.error()/.count(). The ABI value is
+// still available via implicit long conversion for code that needs it.
+//
 //   $ ./numactl_admin
 #include <cstdio>
 
@@ -58,13 +63,17 @@ int main() {
   admin.core = 0;
   admin.clock = std::max(ta.clock, tb.clock);
   const sim::Time t0 = admin.clock;
-  // Deliberately consumes the raw Linux ABI value (negative errno or count):
-  // this example demonstrates the classic numactl convention. New code should
-  // keep the kern::SyscallResult and use .ok()/.error()/.count().
-  const long moved = k.sys_migrate_pages(admin, bob, /*from=*/0b0011, /*to=*/0b1100);
+  const kern::SyscallResult r =
+      k.sys_migrate_pages(admin, bob, /*from=*/0b0011, /*to=*/0b1100);
+  if (!r.ok()) {
+    std::fprintf(stderr, "migrate_pages failed: errno %d\n", r.error());
+    return 1;
+  }
+  const auto moved = static_cast<std::uint64_t>(r.count());
 
   std::printf("=== migrate_pages(bob, {0,1} -> {2,3}) ===\n");
-  std::printf("moved %ld pages in %s (%.0f MB/s)\n\n", moved,
+  std::printf("moved %llu pages in %s (%.0f MB/s)\n\n",
+              static_cast<unsigned long long>(moved),
               sim::format_time(admin.clock - t0).c_str(),
               sim::mb_per_second(moved * mem::kPageSize, admin.clock - t0));
   show(k, alice, "alice");

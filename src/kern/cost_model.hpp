@@ -161,6 +161,14 @@ struct CostModel {
   Time numab_hint_fault = 600;   ///< hint-fault bookkeeping + rearm in the fault path
   Time numab_balance_eval = 4000;  ///< one sched::Balancer evaluation pass
 
+  // --- memory tiering (promotion/demotion across device tiers) -----------------
+  Time demote_scan_base = 2500;  ///< one watermark check + cold-walk setup
+  Time demote_scan_page = 90;    ///< per candidate page examined by the walk
+  Time demote_submit = 1500;     ///< hand one cold run to the demotion daemon
+  /// Direct demotion: the allocating thread waits for the eviction to free a
+  /// frame (the synchronous slow path Linux calls demotion in reclaim).
+  Time demote_direct_stall = 30'000;
+
   // --- barriers / scheduling ------------------------------------------------------
   Time barrier_phase = 2500;     ///< one OpenMP-style barrier episode
   Time thread_spawn = 15'000;

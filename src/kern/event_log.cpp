@@ -31,6 +31,8 @@ std::string_view event_type_name(EventType t) {
     case EventType::kTxnDirtyRetry: return "txn-dirty-retry";
     case EventType::kTxnDegraded: return "txn-degraded";
     case EventType::kTxnAbort: return "txn-abort";
+    case EventType::kTierPromote: return "tier-promote";
+    case EventType::kTierDemote: return "tier-demote";
   }
   return "?";
 }
@@ -50,7 +52,8 @@ void EventLog::record(const obs::TraceEvent& e) {
       EventType::kNumaHintFault,     EventType::kNumaPromote,
       EventType::kNumaTaskMigrate,   EventType::kTxnCommit,
       EventType::kTxnDirtyRetry,     EventType::kTxnDegraded,
-      EventType::kTxnAbort,
+      EventType::kTxnAbort,          EventType::kTierPromote,
+      EventType::kTierDemote,
   };
   for (EventType t : kAll) {
     if (event_type_name(t) != e.name) continue;

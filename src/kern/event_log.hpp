@@ -53,6 +53,9 @@ enum class EventType : std::uint8_t {
   kTxnDirtyRetry,  // page dirtied during the copy window; re-copy after backoff
   kTxnDegraded,    // transaction gave up; caller stop-and-copied or deferred
   kTxnAbort,       // retry budget exhausted / permanent fault; shadow released
+  // Memory-tier events (kern/tiers):
+  kTierPromote,  // hint-confirmed batch headed to a faster tier via kmigrated
+  kTierDemote,   // cold run demoted down-tier (daemon pass or direct)
 };
 
 std::string_view event_type_name(EventType t);

@@ -5,7 +5,7 @@
 namespace numasim::kern {
 
 double HwState::path_rate(topo::NodeId core_node, topo::NodeId mem_node,
-                          double engine_rate) const {
+                          double engine_rate, MemDir dir) const {
   // A single request stream sustains fewer bytes per unit time the farther
   // the memory is: outstanding-request capacity divided by round-trip
   // latency. We scale the requester's local rate by the latency ratio
@@ -18,13 +18,16 @@ double HwState::path_rate(topo::NodeId core_node, topo::NodeId mem_node,
     rate = engine_rate * (local / remote);
     rate = std::min(rate, topo_.link_spec(topo_.route(core_node, mem_node)[0]).bytes_per_us);
   }
-  return std::min(rate, topo_.node_spec(mem_node).dram_bytes_per_us);
+  const double device = dir == MemDir::kWrite
+                            ? wr_rate_[mem_node]
+                            : topo_.node_spec(mem_node).dram_bytes_per_us;
+  return std::min(rate, device);
 }
 
 sim::Slot HwState::stream(sim::Time now, topo::NodeId core_node,
                           topo::NodeId mem_node, std::uint64_t bytes,
-                          double max_rate) {
-  const double rate = path_rate(core_node, mem_node, max_rate);
+                          double max_rate, MemDir dir) {
+  const double rate = path_rate(core_node, mem_node, max_rate, dir);
   const sim::Time requester = static_cast<sim::Time>(
       static_cast<double>(bytes) * 1000.0 / rate + 0.5);
 
@@ -37,8 +40,9 @@ sim::Slot HwState::stream(sim::Time now, topo::NodeId core_node,
 
   sim::Time finish = start + requester;
   {
-    const sim::Time svc = dram_[mem_node].duration(bytes);
-    dram_[mem_node].transfer(start, bytes);  // advances its free_at
+    const std::uint64_t dev = device_bytes(mem_node, bytes, dir);
+    const sim::Time svc = dram_[mem_node].duration(dev);
+    dram_[mem_node].transfer(start, dev);  // advances its free_at
     finish = std::max(finish, start + svc);
   }
   for (topo::LinkId l : route) {
@@ -53,7 +57,7 @@ sim::Slot HwState::copy(sim::Time now, topo::NodeId from, topo::NodeId to,
                         std::uint64_t bytes, double engine_rate) {
   double rate = engine_rate;
   rate = std::min(rate, topo_.node_spec(from).dram_bytes_per_us);
-  rate = std::min(rate, topo_.node_spec(to).dram_bytes_per_us);
+  rate = std::min(rate, wr_rate_[to]);  // destination side is a write
   const auto route = topo_.route(from, to);
   for (topo::LinkId l : route) rate = std::min(rate, topo_.link_spec(l).bytes_per_us);
   const sim::Time requester =
@@ -68,8 +72,9 @@ sim::Slot HwState::copy(sim::Time now, topo::NodeId from, topo::NodeId to,
   dram_[from].transfer(start, bytes);
   finish = std::max(finish, start + dram_[from].duration(bytes));
   if (to != from) {
-    dram_[to].transfer(start, bytes);
-    finish = std::max(finish, start + dram_[to].duration(bytes));
+    const std::uint64_t dev = device_bytes(to, bytes, MemDir::kWrite);
+    dram_[to].transfer(start, dev);
+    finish = std::max(finish, start + dram_[to].duration(dev));
   }
   for (topo::LinkId l : route) {
     links_[l].transfer(start, bytes);

@@ -112,13 +112,30 @@ struct StreamResult {
   std::uint64_t bytes = 0;
 };
 
+/// Direction of a memory access relative to the device. NVM-like tiers
+/// (topo::MemTier::kFar) sustain fewer write bytes per microsecond than read
+/// bytes; symmetric nodes treat both identically (and take the exact same
+/// arithmetic path, keeping flat machines byte-identical).
+enum class MemDir : std::uint8_t { kRead, kWrite };
+
 class HwState {
  public:
   explicit HwState(const topo::Topology& topo) : topo_(topo) {
     dram_.reserve(topo.num_nodes());
+    wr_scale_.reserve(topo.num_nodes());
+    wr_rate_.reserve(topo.num_nodes());
     for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
       const auto& spec = topo.node_spec(n);
       dram_.emplace_back(spec.dram_bytes_per_us, 0);
+      // Asymmetric write bandwidth is modeled on the single read-rated DRAM
+      // resource by stretching write transfers: a write of B bytes occupies
+      // the controller like a read of B * (read_bw / write_bw) bytes.
+      const bool asym = spec.dram_write_bytes_per_us > 0 &&
+                        spec.dram_write_bytes_per_us != spec.dram_bytes_per_us;
+      wr_scale_.push_back(
+          asym ? spec.dram_bytes_per_us / spec.dram_write_bytes_per_us : 1.0);
+      wr_rate_.push_back(asym ? spec.dram_write_bytes_per_us
+                              : spec.dram_bytes_per_us);
     }
     links_.reserve(topo.num_links());
     for (topo::LinkId l = 0; l < topo.num_links(); ++l) {
@@ -132,11 +149,16 @@ class HwState {
   /// controller and every HT link on the route for their own service times
   /// (simultaneous resource possession). Returns the requester-visible slot:
   /// finish covers the slowest of requester time and resource service.
+  /// `dir` is the direction at the device (kWrite streams pay the node's
+  /// write bandwidth on asymmetric tiers).
   sim::Slot stream(sim::Time now, topo::NodeId core_node, topo::NodeId mem_node,
-                   std::uint64_t bytes, double max_rate);
+                   std::uint64_t bytes, double max_rate,
+                   MemDir dir = MemDir::kRead);
 
   /// Copy `bytes` from DRAM on `from` to DRAM on `to` (page migration /
   /// memcpy between buffers): both controllers plus the route are busy.
+  /// The source side is a read, the destination a write — a copy into an
+  /// asymmetric far tier runs at the destination's write rate.
   sim::Slot copy(sim::Time now, topo::NodeId from, topo::NodeId to,
                  std::uint64_t bytes, double engine_rate);
 
@@ -148,12 +170,25 @@ class HwState {
   /// `core_node` and memory on `mem_node`: the per-hop latency penalty lowers
   /// a single stream's sustainable bandwidth (this realizes the NUMA factor).
   double path_rate(topo::NodeId core_node, topo::NodeId mem_node,
-                   double engine_rate) const;
+                   double engine_rate, MemDir dir = MemDir::kRead) const;
 
  private:
+  /// Controller-occupancy bytes for a transfer of `bytes` in direction
+  /// `dir` at node `n`. The symmetric case returns `bytes` untouched (no
+  /// floating-point round trip), so flat machines stay byte-identical.
+  std::uint64_t device_bytes(topo::NodeId n, std::uint64_t bytes,
+                             MemDir dir) const {
+    if (dir == MemDir::kRead || wr_scale_[n] == 1.0) return bytes;
+    return static_cast<std::uint64_t>(static_cast<double>(bytes) *
+                                          wr_scale_[n] +
+                                      0.5);
+  }
+
   const topo::Topology& topo_;
   std::vector<sim::BandwidthResource> dram_;
   std::vector<sim::BandwidthResource> links_;
+  std::vector<double> wr_scale_;  ///< read_bw / write_bw per node (1.0 = sym)
+  std::vector<double> wr_rate_;   ///< effective write bandwidth per node
 };
 
 }  // namespace numasim::kern

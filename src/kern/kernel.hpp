@@ -35,6 +35,7 @@
 #include "kern/kmigrated.hpp"
 #include "kern/numab.hpp"
 #include "kern/replication.hpp"
+#include "kern/tiers.hpp"
 #include "kern/txn_migrate.hpp"
 #include "mem/phys.hpp"
 #include "obs/metrics.hpp"
@@ -138,6 +139,11 @@ struct KernelConfig {
   /// Automatic NUMA balancing (hint-fault sampling + migrate-on-fault).
   /// Disabled by default; see kern/numab.hpp and docs/scheduling.md.
   NumaBalancingConfig numa_balancing{};
+  /// Memory-tier promotion/demotion knobs (kern/tiers.hpp). Disabled by
+  /// default; promotion rides the numab hint-fault loop, so tiering needs
+  /// numa_balancing.enabled for the proactive paths (direct demotion under
+  /// allocation pressure works regardless). See docs/memory-tiers.md.
+  TierConfig tiers{};
 };
 
 /// Result of an access() call (MMU emulation).
@@ -187,6 +193,10 @@ struct KernelStats {
   std::uint64_t txn_dirty_retries = 0;  ///< dirty hits re-copied with backoff
   std::uint64_t txn_degraded = 0;       ///< fell back to stop-and-copy / deferred
   std::uint64_t txn_aborted = 0;        ///< retry budget exhausted / permanent fault
+  // Memory tiering (kern/tiers):
+  std::uint64_t tier_promotions = 0;    ///< pages moved up-tier via numab/kmigrated
+  std::uint64_t tier_demotions = 0;     ///< pages moved down-tier (daemon or direct)
+  std::uint64_t tier_demote_passes = 0; ///< watermark/direct demotion walks run
   /// Async kmigrated batches still in flight when the kernel was destroyed;
   /// accounted (never silently dropped) so an attached metrics registry
   /// keeps the evidence across kernel generations.
@@ -376,9 +386,10 @@ class Kernel {
 
   /// Charge one data stream of `bytes` between the calling core and
   /// `mem_node` at `rate` bytes/us (plus one access latency), advancing the
-  /// thread clock. Building block for layered traffic models.
+  /// thread clock. Building block for layered traffic models. `dir` matters
+  /// only on tiers with asymmetric write bandwidth (e.g. kFar).
   void charge_stream(ThreadCtx& t, topo::NodeId mem_node, std::uint64_t bytes,
-                     double rate);
+                     double rate, MemDir dir = MemDir::kRead);
 
   /// Convenience: access + actually move bytes when frames are materialized.
   int read_bytes(ThreadCtx& t, vm::Vaddr addr, std::span<std::byte> out);
@@ -419,6 +430,11 @@ class Kernel {
 
   /// Per-node used/free frame summary (numactl --hardware style).
   std::string meminfo() const;
+
+  /// Percent of the fast tier's frame capacity currently in use (rounded
+  /// down); 0 when the topology has no kFast capacity. Exported as the
+  /// kern.tier.fast_occupancy gauge.
+  std::int64_t fast_occupancy_pct() const;
 
   // --- automatic NUMA balancing (consumed by sched::Balancer) -------------------
   /// Decayed per-node hint-fault scores of (pid, tid) as of `now` (empty if
@@ -538,6 +554,33 @@ class Kernel {
   /// last resort (user faults reclaim deeper than migrations, so touch never
   /// fails while any frame exists). kInvalidFrame = machine truly full.
   mem::FrameId alloc_user_frame(ThreadCtx& t, vm::Vpn vpn, topo::NodeId target);
+
+  // --- memory tiering internals (src/kern/tiers.cpp) ----------------------------
+  /// Node `n` is at/over its tier high watermark (tiering admission check).
+  bool tier_pressured(topo::NodeId n) const;
+  /// Best faster-tier destination for a hint-confirmed hot page on
+  /// `page_node` accessed from `local`: strictly-faster tiers only, nearest
+  /// to `local` first. Returns `page_node` when no faster tier can take it
+  /// (promotion is skipped, plain numab targeting applies).
+  topo::NodeId tier_promote_target(topo::NodeId page_node, topo::NodeId local) const;
+  /// Nearest strictly-slower-tier node with headroom to absorb demotions
+  /// from `from`; kInvalidNode when no lower tier has room.
+  topo::NodeId tier_demote_target(topo::NodeId from) const;
+  /// Demote up to `want_pages` of `p`'s pages off `node` down-tier via
+  /// kmigrated. `require_idle` restricts victims to scan-confirmed cold
+  /// pages (numa_idle >= cfg threshold); the direct-reclaim path passes
+  /// false to take any eligible page. Returns pages submitted.
+  std::uint64_t tier_demote(ThreadCtx& t, Process& p, topo::NodeId node,
+                            std::uint64_t want_pages, bool require_idle,
+                            sim::CostKind kind);
+  /// Scan-clock hook: walk fast nodes over their high watermark and kick a
+  /// cold-page demotion pass for each (kswapd-style, but driven off the
+  /// numab scan window so the model stays single-clocked).
+  void tier_demote_check(ThreadCtx& t, Process& p);
+  /// MPOL_PREFERRED_MANY placement: best node of `mask` ranked by (tier,
+  /// distance from `local`, id) that still has admission headroom; falls
+  /// back to the best-ranked member when all are pressured.
+  topo::NodeId preferred_many_target(topo::NodeMask mask, topo::NodeId local) const;
 
   /// Cost of one all-core TLB shootdown, re-sending the IPI when the
   /// injector drops it. Also bumps the shootdown stats.

@@ -105,6 +105,10 @@ void Kernel::set_metrics(obs::Registry* reg) {
   reg->bind_counter("kern.numab.pages_promoted", &kstats_.numab_pages_promoted);
   reg->bind_counter("kern.numab.task_migrations", &kstats_.numab_task_migrations);
   reg->bind_counter("kern.numab.task_swaps", &kstats_.numab_task_swaps);
+  reg->bind_counter("kern.tier.promotions", &kstats_.tier_promotions);
+  reg->bind_counter("kern.tier.demotions", &kstats_.tier_demotions);
+  reg->bind_counter("kern.tier.demote_passes", &kstats_.tier_demote_passes);
+  reg->bind_gauge("kern.tier.fast_occupancy", [this] { return fast_occupancy_pct(); });
 
   for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
     reg->bind_gauge("mem.used_frames.node" + std::to_string(n), [this, n] {
@@ -288,7 +292,9 @@ void Kernel::populate_page(ThreadCtx& t, Process& p, const vm::Vma& vma,
   const topo::NodeId local = topo_.node_of_core(t.core);
   const vm::MemPolicy& eff =
       vma.policy.mode != vm::PolicyMode::kDefault ? vma.policy : p.task_policy;
-  topo::NodeId target = eff.target_node(vma.pgoff(vpn), local, topo_.num_nodes());
+  topo::NodeId target = eff.mode == vm::PolicyMode::kPreferredMany
+                            ? preferred_many_target(eff.nodes, local)
+                            : eff.target_node(vma.pgoff(vpn), local, topo_.num_nodes());
   if (target == topo::kInvalidNode) target = local;
 
   const mem::FrameId frame = alloc_user_frame(t, vpn, target);
@@ -298,7 +304,7 @@ void Kernel::populate_page(ThreadCtx& t, Process& p, const vm::Vma& vma,
   charge(t, cost_.page_alloc + cost_.pte_update, sim::CostKind::kAllocZero);
   const sim::Slot z = hw_.stream(t.clock, topo_.node_of_core(t.core),
                                  phys_.node_of(frame), mem::kPageSize,
-                                 cost_.zero_rate_bytes_per_us);
+                                 cost_.zero_rate_bytes_per_us, MemDir::kWrite);
   t.stats.add(sim::CostKind::kAllocZero, z.finish - t.clock);
   t.clock = z.finish;
 
@@ -442,12 +448,22 @@ Kernel::MigrateResult Kernel::do_migrate_page(ThreadCtx& t, Process& p,
                                               sim::CostKind control_kind,
                                               sim::CostKind copy_kind,
                                               CopyBatch* copies) {
-  (void)p;
   const mem::FrameId old_frame = pte.frame;
   const topo::NodeId from = phys_.node_of(old_frame);
 
   // Isolate→alloc: the destination frame must come from the target node.
-  const mem::FrameId new_frame = alloc_migration_frame(target);
+  mem::FrameId new_frame = alloc_migration_frame(target);
+  if (new_frame == mem::kInvalidFrame && cfg_.tiers.enabled &&
+      cfg_.tiers.demotion) {
+    // Direct demotion (tiering): push cold — or, failing that, any eligible —
+    // pages of `target` down-tier to make room, then retry once. The chain is
+    // monotonic down the tier order, so it terminates at the slowest tier.
+    if (tier_demote(t, p, target, cfg_.tiers.demote_batch_pages,
+                    /*require_idle=*/false, control_kind) > 0) {
+      charge(t, cost_.demote_direct_stall, control_kind);
+      new_frame = alloc_migration_frame(target);
+    }
+  }
   if (new_frame == mem::kInvalidFrame) {
     ++kstats_.migrations_failed;
     trace(t, EventType::kMigrateFail, vpn, 1, from, target);
@@ -506,14 +522,16 @@ void Kernel::populate_huge_block(ThreadCtx& t, Process& p, const vm::Vma& vma,
   const topo::NodeId local = topo_.node_of_core(t.core);
   const vm::MemPolicy& eff =
       vma.policy.mode != vm::PolicyMode::kDefault ? vma.policy : p.task_policy;
-  topo::NodeId target = eff.target_node(vma.pgoff(block), local, topo_.num_nodes());
+  topo::NodeId target = eff.mode == vm::PolicyMode::kPreferredMany
+                            ? preferred_many_target(eff.nodes, local)
+                            : eff.target_node(vma.pgoff(block), local, topo_.num_nodes());
   if (target == topo::kInvalidNode) target = local;
 
   // One fault maps the whole block: one PTE-level update, one 2 MiB
   // zero-fill, one allocation episode (the huge frame).
   charge(t, cost_.page_alloc + cost_.pte_update, sim::CostKind::kAllocZero);
   const sim::Slot z = hw_.stream(t.clock, local, target, 2ull << 20,
-                                 cost_.zero_rate_bytes_per_us);
+                                 cost_.zero_rate_bytes_per_us, MemDir::kWrite);
   t.stats.add(sim::CostKind::kAllocZero, z.finish - t.clock);
   t.clock = z.finish;
 
@@ -736,6 +754,8 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   const vm::Vpn vpn_end = vm::vpn_of(end - 1) + 1;
 
   // Contiguous same-node runs are charged as one stream.
+  const MemDir dir =
+      prot_allows(want, vm::Prot::kWrite) ? MemDir::kWrite : MemDir::kRead;
   topo::NodeId run_node = topo::kInvalidNode;
   std::uint64_t run_bytes = 0;
   auto flush_run = [&] {
@@ -744,7 +764,7 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
       return;
     }
     const sim::Slot s = hw_.stream(t.clock, core_node, run_node, run_bytes,
-                                   stream_rate_bytes_per_us);
+                                   stream_rate_bytes_per_us, dir);
     const sim::Time lat = topo_.access_latency(core_node, run_node);
     t.stats.add(sim::CostKind::kMemAccess, s.finish + lat - t.clock);
     t.clock = s.finish + lat;
@@ -792,9 +812,9 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
 }
 
 void Kernel::charge_stream(ThreadCtx& t, topo::NodeId mem_node,
-                           std::uint64_t bytes, double rate) {
+                           std::uint64_t bytes, double rate, MemDir dir) {
   const topo::NodeId core_node = topo_.node_of_core(t.core);
-  const sim::Slot s = hw_.stream(t.clock, core_node, mem_node, bytes, rate);
+  const sim::Slot s = hw_.stream(t.clock, core_node, mem_node, bytes, rate, dir);
   const sim::Time lat = topo_.access_latency(core_node, mem_node);
   t.stats.add(sim::CostKind::kMemAccess, s.finish + lat - t.clock);
   t.clock = s.finish + lat;
@@ -857,7 +877,9 @@ AccessResult Kernel::access_strided(ThreadCtx& t, vm::Vaddr base,
       if (bytes_from[n] == 0) continue;
       const auto scaled = static_cast<std::uint64_t>(
           static_cast<double>(bytes_from[n]) * traffic_scale + 0.5);
-      charge_stream(t, n, scaled, stream_rate_bytes_per_us);
+      charge_stream(t, n, scaled, stream_rate_bytes_per_us,
+                    prot_allows(want, vm::Prot::kWrite) ? MemDir::kWrite
+                                                        : MemDir::kRead);
     }
   }
   flush_copy_batch(t, copies, sim::CostKind::kNextTouchCopy);
@@ -1066,6 +1088,8 @@ void Kernel::validate(Pid pid) const {
                            std::to_string(referenced) + " referenced + " +
                            std::to_string(shadow) + " shadow vs " +
                            std::to_string(phys_.total_used_frames()) + " used)"};
+  // Per-tier occupancy bookkeeping must agree with the per-node pools.
+  phys_.audit_tiers();
 }
 
 std::string Kernel::meminfo() const {
@@ -1075,7 +1099,9 @@ std::string Kernel::meminfo() const {
     const std::uint64_t used = phys_.used_frames(n);
     os << "node " << n << ": " << (cap * mem::kPageSize >> 20) << " MB total, "
        << (used * mem::kPageSize >> 10) << " KB used, "
-       << ((cap - used) * mem::kPageSize >> 20) << " MB free\n";
+       << ((cap - used) * mem::kPageSize >> 20) << " MB free";
+    if (topo_.tiered()) os << " [" << topo::mem_tier_name(topo_.tier_of(n)) << "]";
+    os << "\n";
   }
   return os.str();
 }
@@ -1090,6 +1116,7 @@ std::string Kernel::numa_maps(Pid pid) const {
       case vm::PolicyMode::kBind: os << "bind"; break;
       case vm::PolicyMode::kInterleave: os << "interleave"; break;
       case vm::PolicyMode::kPreferred: os << "prefer"; break;
+      case vm::PolicyMode::kPreferredMany: os << "prefer (many)"; break;
     }
     std::vector<std::uint64_t> per_node(topo_.num_nodes(), 0);
     std::uint64_t present = 0;

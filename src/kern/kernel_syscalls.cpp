@@ -450,6 +450,17 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
   // already-isolated page simply stays mapped on its source node.
   for (Move& m : moves) {
     m.nf = alloc_migration_frame(m.to);
+    if (m.nf == mem::kInvalidFrame && cfg_.tiers.enabled && cfg_.tiers.demotion) {
+      // Direct demotion (tiering): evict pages of the full destination node
+      // down-tier, then retry once — move_pages into the fast tier degrades
+      // to -ENOMEM only when no lower tier has room either.
+      if (tier_demote(t, p, m.to, cfg_.tiers.demote_batch_pages,
+                      /*require_idle=*/false,
+                      sim::CostKind::kMovePagesControl) > 0) {
+        charge(t, cost_.demote_direct_stall, sim::CostKind::kMovePagesControl);
+        m.nf = alloc_migration_frame(m.to);
+      }
+    }
     if (m.nf == mem::kInvalidFrame) {
       status[m.i] = -kENOMEM;
       ++kstats_.migrations_failed;

@@ -109,7 +109,20 @@ std::uint64_t Kernel::submit_kmigrated_batch(ThreadCtx& t, Process& p,
         }
       }
     } else if (from != node) {
-      const mem::FrameId nf = alloc_migration_frame(node);
+      mem::FrameId nf = alloc_migration_frame(node);
+      if (nf == mem::kInvalidFrame && cfg_.tiers.enabled && cfg_.tiers.demotion) {
+        // Direct demotion (tiering): the daemon evicts pages of the full
+        // destination node down-tier and retries once, so an up-tier batch
+        // degrades to per-page ENOMEM only when every lower tier is full
+        // too. Demotion work bills the daemon (dt / service), never the
+        // submitter.
+        if (tier_demote(dt, p, node, cfg_.tiers.demote_batch_pages,
+                        /*require_idle=*/false,
+                        sim::CostKind::kMovePagesControl) > 0) {
+          service += cost_.demote_direct_stall;
+          nf = alloc_migration_frame(node);
+        }
+      }
       if (nf == mem::kInvalidFrame) {
         // Per-page ENOMEM degrades just this page; the original mapping is
         // untouched, so there is nothing to roll back.

@@ -104,8 +104,17 @@ void Kernel::numab_scan(ThreadCtx& t, Process& p) {
         // migrator's hw-bit snapshot, so the scanner leaves them alone.
         if (pte->flags & (vm::Pte::kHuge | vm::Pte::kReplica |
                           vm::Pte::kNextTouch | vm::Pte::kNumaHint |
-                          vm::Pte::kTxn))
+                          vm::Pte::kTxn)) {
+          // A page still carrying kNumaHint from an earlier window was never
+          // touched since: one more window of cold-page evidence for the
+          // tier demotion pass.
+          if (cfg_.tiers.enabled && pte->numa_hint() &&
+              !(pte->flags & (vm::Pte::kHuge | vm::Pte::kReplica |
+                              vm::Pte::kNextTouch | vm::Pte::kTxn)) &&
+              pte->numa_idle < 255)
+            ++pte->numa_idle;
           continue;
+        }
         pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
         pte->set(vm::Pte::kNumaHint);
         ++marked;
@@ -123,6 +132,7 @@ void Kernel::numab_scan(ThreadCtx& t, Process& p) {
   }
   if (h_numab_scan_ != nullptr) h_numab_scan_->record(marked);
   trace(t, EventType::kNumaScan, vm::vpn_of(window_start), marked);
+  tier_demote_check(t, p);
   emit_span(t, "numab-scan", begin, "kern");
 }
 
@@ -150,17 +160,23 @@ void Kernel::numab_hint_fault(ThreadCtx& t, Process& p, const vm::Vma& vma,
   // Migrate-on-fault: promote a remote page toward the faulting node, but
   // only once two consecutive hint faults came from that node
   // (numa_migrate_prep's two-reference confirmation) — a single stray
-  // access must not bounce the page.
-  if (page_node != local) {
+  // access must not bounce the page. On a tiered machine the target is the
+  // best strictly-faster-tier node instead of the faulting node, so a hot
+  // local page on a slow tier still moves up.
+  const topo::NodeId target = cfg_.tiers.enabled
+                                  ? tier_promote_target(page_node, local)
+                                  : local;
+  if (target != page_node) {
     const bool confirmed = !cfg_.numa_balancing.two_reference ||
                            pte.numa_last == static_cast<std::uint8_t>(local);
     if (confirmed) {
-      p.numab.pending.emplace_back(vpn, local);
+      p.numab.pending.emplace_back(vpn, target);
     } else {
       ++kstats_.numab_promotions_deferred;
     }
   }
   pte.numa_last = static_cast<std::uint8_t>(local);
+  pte.numa_idle = 0;
 
   // Rearm: restore the hardware bits so the access proceeds; the next scan
   // window re-samples the page.
@@ -184,15 +200,30 @@ void Kernel::numab_flush_promotions(ThreadCtx& t, Process& p) {
     const vm::Vpn first = pend[i].first;
     const std::uint64_t npages = j - i;
     const topo::NodeId target = pend[i].second;
+    // Snapshot the source node before the batch runs: an up-tier move is a
+    // tier promotion, counted and traced separately from plain locality
+    // promotion.
+    topo::NodeId from = topo::kInvalidNode;
+    if (cfg_.tiers.enabled) {
+      if (const vm::Pte* pte = p.as.page_table().find(first);
+          pte != nullptr && pte->present())
+        from = phys_.node_of(pte->frame);
+    }
     charge(t, cost_.kmigrated_submit, sim::CostKind::kNumaHint);
     trace(t, EventType::kNumaPromote, first, npages, topo::kInvalidNode, target);
     // A degraded transaction defers the page: the next scan pass will see the
     // hint fault again and re-promote, so there is no point stop-and-copying
     // a page the balancer only *suspects* is hot.
-    kstats_.numab_pages_promoted +=
+    const std::uint64_t moved =
         submit_kmigrated_batch(t, p, vm::addr_of(first),
                                npages * mem::kPageSize, target, t.clock,
                                /*defer_on_degrade=*/true);
+    kstats_.numab_pages_promoted += moved;
+    if (moved > 0 && from != topo::kInvalidNode &&
+        topo_.tier_of(target) < topo_.tier_of(from)) {
+      kstats_.tier_promotions += moved;
+      trace(t, EventType::kTierPromote, first, moved, from, target);
+    }
     i = j;
   }
   pend.clear();

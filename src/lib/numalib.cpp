@@ -29,6 +29,15 @@ NumaBuffer NumaBuffer::local(kern::ThreadCtx& t, kern::Kernel& k,
   return NumaBuffer{k, t.pid, a, size, pol, topo::kInvalidNode};
 }
 
+NumaBuffer NumaBuffer::tiered(kern::ThreadCtx& t, kern::Kernel& k,
+                              std::uint64_t size, topo::NodeMask allowed,
+                              std::string name) {
+  const vm::MemPolicy pol = tier_preferred(k.topo(), allowed);
+  const vm::Vaddr a =
+      k.sys_mmap(t, size, vm::Prot::kReadWrite, pol, std::move(name));
+  return NumaBuffer{k, t.pid, a, size, pol, topo::kInvalidNode};
+}
+
 void NumaBuffer::populate(kern::ThreadCtx& t) {
   kernel_->access(t, addr_, size_, vm::Prot::kReadWrite,
                   kernel_->cost().zero_rate_bytes_per_us);
@@ -105,6 +114,12 @@ kern::SyscallResult sync_migrate(kern::ThreadCtx& t, kern::Kernel& k,
   for (int s : status)
     if (s == static_cast<int>(node)) ++ok;
   return ok;
+}
+
+vm::MemPolicy tier_preferred(const topo::Topology& topo,
+                             topo::NodeMask allowed) {
+  if (allowed == 0) allowed = topo.all_nodes_mask();
+  return vm::MemPolicy::preferred_many(allowed & topo.all_nodes_mask());
 }
 
 }  // namespace numasim::lib

@@ -37,6 +37,11 @@ class NumaBuffer {
   /// Map `size` bytes with default policy (first touch decides placement).
   static NumaBuffer local(kern::ThreadCtx& t, kern::Kernel& k,
                           std::uint64_t size, std::string name = {});
+  /// Map `size` bytes under the tier-preference policy (see
+  /// lib::tier_preferred): fastest tier first, graceful spill down-tier.
+  static NumaBuffer tiered(kern::ThreadCtx& t, kern::Kernel& k,
+                           std::uint64_t size, topo::NodeMask allowed = 0,
+                           std::string name = {});
 
   NumaBuffer(const NumaBuffer&) = delete;
   NumaBuffer& operator=(const NumaBuffer&) = delete;
@@ -148,5 +153,14 @@ kern::SyscallResult lazy_migrate(kern::ThreadCtx& t, kern::Kernel& k,
 kern::SyscallResult sync_migrate(kern::ThreadCtx& t, kern::Kernel& k,
                                  vm::Vaddr addr, std::uint64_t len,
                                  topo::NodeId node);
+
+/// Tier-preference mempolicy (MPOL_PREFERRED_MANY flavour): allocations try
+/// the nodes of `allowed` ordered fastest-tier-first (ties broken by distance
+/// from the faulting core, then node id) and spill down-tier instead of
+/// failing when the fast nodes are full. `allowed == 0` means every node.
+/// On a flat (untiered) machine this degrades to nearest-first placement,
+/// i.e. first-touch with an explicit mask.
+vm::MemPolicy tier_preferred(const topo::Topology& topo,
+                             topo::NodeMask allowed = 0);
 
 }  // namespace numasim::lib

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace numasim::mem {
 
@@ -11,6 +13,9 @@ PhysMem::PhysMem(const topo::Topology& topo, Backing backing,
     : topo_(topo), backing_(backing) {
   per_node_.resize(topo.num_nodes());
   fallback_order_.resize(topo.num_nodes());
+  node_tier_.reserve(topo.num_nodes());
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n)
+    node_tier_.push_back(topo.node_spec(n).tier);
   for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
     std::uint64_t cap = topo.node_spec(n).dram_capacity_bytes >> kPageShift;
     if (max_frames_per_node != 0) cap = std::min(cap, max_frames_per_node);
@@ -39,6 +44,7 @@ FrameId PhysMem::take_frame(topo::NodeId node, bool use_reserve) {
     ++pool.reserve_allocs;
   }
   ++pool.used;
+  ++tier_used_[static_cast<std::size_t>(node_tier_[node])];
   ++allocs_;
   FrameId id;
   if (!pool.free_list.empty()) {
@@ -124,8 +130,31 @@ void PhysMem::free(FrameId f) {
   NodePool& pool = per_node_[frame.node];
   assert(pool.used > 0);
   --pool.used;
+  assert(tier_used_[static_cast<std::size_t>(node_tier_[frame.node])] > 0);
+  --tier_used_[static_cast<std::size_t>(node_tier_[frame.node])];
   ++frees_;
   pool.free_list.push_back(f);
+}
+
+std::uint64_t PhysMem::tier_capacity_frames(topo::MemTier t) const {
+  std::uint64_t sum = 0;
+  for (topo::NodeId n = 0; n < per_node_.size(); ++n)
+    if (node_tier_[n] == t) sum += per_node_[n].capacity;
+  return sum;
+}
+
+void PhysMem::audit_tiers() const {
+  std::array<std::uint64_t, 3> want{};
+  for (topo::NodeId n = 0; n < per_node_.size(); ++n)
+    want[static_cast<std::size_t>(node_tier_[n])] += per_node_[n].used;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (want[i] != tier_used_[i])
+      throw std::logic_error{
+          "PhysMem::audit_tiers: tier " +
+          std::string{topo::mem_tier_name(static_cast<topo::MemTier>(i))} +
+          " accounts " + std::to_string(tier_used_[i]) + " used frames, nodes sum to " +
+          std::to_string(want[i])};
+  }
 }
 
 std::uint64_t PhysMem::total_used_frames() const {

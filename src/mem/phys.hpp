@@ -7,6 +7,7 @@
 // back to other nodes in hop order, as Linux's zonelists do.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -109,6 +110,17 @@ class PhysMem {
   }
   std::uint64_t total_used_frames() const;
 
+  // --- per-tier occupancy (memory tiering) ------------------------------------
+  /// Live frames / usable capacity summed over every node on tier `t`.
+  /// `tier_used_frames` is maintained incrementally by take_frame()/free();
+  /// audit_tiers() recomputes it from the per-node pools and throws
+  /// std::logic_error on drift (hooked into Kernel::validate()).
+  std::uint64_t tier_used_frames(topo::MemTier t) const {
+    return tier_used_[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t tier_capacity_frames(topo::MemTier t) const;
+  void audit_tiers() const;
+
   /// True when `f` is a live allocated frame (consistency checks).
   bool is_live(FrameId f) const {
     return f < frames_.size() && frames_[f].in_use;
@@ -144,6 +156,8 @@ class PhysMem {
   Backing backing_;
   std::vector<Frame> frames_;
   std::vector<NodePool> per_node_;
+  std::vector<topo::MemTier> node_tier_;             // cached node -> tier
+  std::array<std::uint64_t, 3> tier_used_{};         // live frames per tier
   std::vector<std::vector<topo::NodeId>> fallback_order_;  // per preferred node
   std::uint64_t allocs_ = 0;
   std::uint64_t frees_ = 0;

@@ -1,16 +1,27 @@
 // Textual topology specs: build custom NUMA machines for the "larger
 // machine" experiments (paper Sec. 6: "running similar experiments on larger
-// NUMA machines where data locality is more critical").
+// NUMA machines where data locality is more critical") and the tiered
+// machines of the memory-tier work (docs/memory-tiers.md).
+//
+// All parse failures throw topo::SpecError carrying the offending key and
+// raw token (see topology.hpp for the grammar).
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "topo/topology.hpp"
 
 namespace numasim::topo {
 
 namespace {
+
+[[noreturn]] void fail(const std::string& why, std::string key,
+                       std::string token) {
+  throw SpecError{"Topology::from_spec: " + why, std::move(key),
+                  std::move(token)};
+}
 
 std::unordered_map<std::string, std::string> parse_kv(const std::string& spec) {
   std::unordered_map<std::string, std::string> kv;
@@ -19,7 +30,7 @@ std::unordered_map<std::string, std::string> parse_kv(const std::string& spec) {
   while (is >> tok) {
     const auto eq = tok.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size())
-      throw std::invalid_argument{"Topology::from_spec: bad token '" + tok + "'"};
+      fail("bad token '" + tok + "'", "", tok);
     kv[tok.substr(0, eq)] = tok.substr(eq + 1);
   }
   return kv;
@@ -30,10 +41,54 @@ double num(const std::unordered_map<std::string, std::string>& kv,
   auto it = kv.find(key);
   if (it == kv.end()) return fallback;
   std::size_t pos = 0;
-  const double v = std::stod(it->second, &pos);
-  if (pos != it->second.size())
-    throw std::invalid_argument{"Topology::from_spec: bad number for " + key};
+  double v = 0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    fail("bad number for " + key, key, it->second);
+  }
+  if (pos != it->second.size()) fail("bad number for " + key, key, it->second);
   return v;
+}
+
+/// Parse `tiers=fast:1,dram:2,far:1` into one tier per node, assigned to
+/// node ids in listed order. The counts must sum to `nodes`.
+std::vector<MemTier> parse_tiers(const std::string& value, unsigned nodes) {
+  std::vector<MemTier> out;
+  std::istringstream is(value);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    const auto colon = part.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= part.size())
+      fail("bad tiers clause '" + part + "' (want name:count)", "tiers", part);
+    const std::string name = part.substr(0, colon);
+    const std::string count_str = part.substr(colon + 1);
+    MemTier tier;
+    if (name == "fast") {
+      tier = MemTier::kFast;
+    } else if (name == "dram") {
+      tier = MemTier::kDram;
+    } else if (name == "far") {
+      tier = MemTier::kFar;
+    } else {
+      fail("unknown tier '" + name + "' (fast|dram|far)", "tiers", part);
+    }
+    std::size_t pos = 0;
+    unsigned long count = 0;
+    try {
+      count = std::stoul(count_str, &pos);
+    } catch (const std::exception&) {
+      fail("bad tier count in '" + part + "'", "tiers", part);
+    }
+    if (pos != count_str.size() || count == 0)
+      fail("bad tier count in '" + part + "'", "tiers", part);
+    out.insert(out.end(), count, tier);
+  }
+  if (out.size() != nodes)
+    fail("tier counts sum to " + std::to_string(out.size()) + ", nodes=" +
+             std::to_string(nodes),
+         "tiers", value);
+  return out;
 }
 
 }  // namespace
@@ -41,18 +96,20 @@ double num(const std::unordered_map<std::string, std::string>& kv,
 Topology Topology::from_spec(const std::string& spec) {
   const auto kv = parse_kv(spec);
   for (const auto& [key, value] : kv) {
-    static const char* known[] = {"nodes",   "cores",  "shape",   "link_bw",
-                                  "hop_ns",  "dram_bw", "dram_ns", "l3_mb",
-                                  "mem_gb",  "ghz",    "flops_per_cycle"};
+    static const char* known[] = {
+        "nodes",   "cores",  "shape",   "link_bw", "hop_ns",  "dram_bw",
+        "dram_ns", "l3_mb",  "mem_gb",  "ghz",     "flops_per_cycle",
+        "tiers",   "fast_bw", "fast_ns", "fast_mb", "far_bw",  "far_wr_bw",
+        "far_ns",  "far_mb"};
     bool ok = false;
     for (const char* k : known) ok = ok || key == k;
-    if (!ok) throw std::invalid_argument{"Topology::from_spec: unknown key " + key};
+    if (!ok) fail("unknown key " + key, key, value);
   }
 
   const auto nodes = static_cast<unsigned>(num(kv, "nodes", 0));
   const auto cores = static_cast<unsigned>(num(kv, "cores", 0));
   if (nodes == 0 || cores == 0)
-    throw std::invalid_argument{"Topology::from_spec: nodes= and cores= required"};
+    fail("nodes= and cores= required", nodes == 0 ? "nodes" : "cores", "");
 
   CoreSpec core;
   core.clock_ghz = num(kv, "ghz", core.clock_ghz);
@@ -65,6 +122,47 @@ Topology Topology::from_spec(const std::string& spec) {
   node.l3_bytes = static_cast<std::uint64_t>(num(kv, "l3_mb", 2.0) * (1 << 20));
   node.dram_capacity_bytes =
       static_cast<std::uint64_t>(num(kv, "mem_gb", 8.0) * (1ull << 30));
+
+  // Per-node specs: flat (all-kDram) unless a tiers= clause says otherwise.
+  // Tier defaults derive from the dram numbers so a spec can scale the whole
+  // machine with dram_bw/dram_ns and keep the tier ratios.
+  std::vector<NodeSpec> node_specs(nodes, node);
+  if (auto it = kv.find("tiers"); it != kv.end()) {
+    NodeSpec fast = node;
+    fast.tier = MemTier::kFast;
+    fast.dram_bytes_per_us = num(kv, "fast_bw", node.dram_bytes_per_us * 3.0);
+    fast.dram_latency = static_cast<sim::Time>(num(
+        kv, "fast_ns",
+        static_cast<double>(std::max<sim::Time>(1, node.dram_latency / 2))));
+    fast.dram_capacity_bytes =
+        static_cast<std::uint64_t>(num(kv, "fast_mb", 64.0) * (1ull << 20));
+
+    NodeSpec far = node;
+    far.tier = MemTier::kFar;
+    far.dram_bytes_per_us = num(kv, "far_bw", node.dram_bytes_per_us / 2.0);
+    far.dram_write_bytes_per_us =
+        num(kv, "far_wr_bw", far.dram_bytes_per_us / 2.0);
+    far.dram_latency = static_cast<sim::Time>(
+        num(kv, "far_ns", static_cast<double>(node.dram_latency * 3)));
+    far.dram_capacity_bytes = static_cast<std::uint64_t>(
+        num(kv, "far_mb",
+            static_cast<double>(node.dram_capacity_bytes >> 20)) *
+        (1ull << 20));
+
+    const std::vector<MemTier> tiers = parse_tiers(it->second, nodes);
+    for (unsigned n = 0; n < nodes; ++n) {
+      switch (tiers[n]) {
+        case MemTier::kFast: node_specs[n] = fast; break;
+        case MemTier::kDram: break;  // already the dram proto
+        case MemTier::kFar: node_specs[n] = far; break;
+      }
+    }
+  } else {
+    for (const char* k : {"fast_bw", "fast_ns", "fast_mb", "far_bw",
+                          "far_wr_bw", "far_ns", "far_mb"})
+      if (kv.count(k) != 0)
+        fail(std::string{k} + " requires a tiers= clause", k, kv.at(k));
+  }
 
   LinkSpec proto;
   proto.bytes_per_us = num(kv, "link_bw", proto.bytes_per_us);
@@ -93,10 +191,10 @@ Topology Topology::from_spec(const std::string& spec) {
   } else if (shape == "star") {
     for (NodeId n = 1; n < nodes; ++n) link(0, n);
   } else {
-    throw std::invalid_argument{"Topology::from_spec: unknown shape " + shape};
+    fail("unknown shape " + shape, "shape", shape);
   }
 
-  return build(nodes, cores, core, node, std::move(links));
+  return build(std::move(node_specs), cores, core, std::move(links));
 }
 
 }  // namespace numasim::topo

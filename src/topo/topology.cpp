@@ -7,6 +7,15 @@
 
 namespace numasim::topo {
 
+const char* mem_tier_name(MemTier t) {
+  switch (t) {
+    case MemTier::kFast: return "fast";
+    case MemTier::kDram: return "dram";
+    case MemTier::kFar: return "far";
+  }
+  return "?";
+}
+
 Topology Topology::quad_opteron() {
   std::vector<LinkSpec> links{
       {0, 1, 2200.0, 15},
@@ -25,6 +34,14 @@ Topology Topology::dual_node(unsigned cores_per_node) {
 Topology Topology::build(unsigned nodes, unsigned cores_per_node,
                          const CoreSpec& core, const NodeSpec& node,
                          std::vector<LinkSpec> links) {
+  return build(std::vector<NodeSpec>(nodes, node), cores_per_node, core,
+               std::move(links));
+}
+
+Topology Topology::build(std::vector<NodeSpec> node_specs,
+                         unsigned cores_per_node, const CoreSpec& core,
+                         std::vector<LinkSpec> links) {
+  const unsigned nodes = static_cast<unsigned>(node_specs.size());
   if (nodes == 0 || nodes > 64) throw std::invalid_argument{"Topology: 1..64 nodes"};
   if (cores_per_node == 0) throw std::invalid_argument{"Topology: need cores"};
   for (const auto& l : links) {
@@ -35,7 +52,7 @@ Topology Topology::build(unsigned nodes, unsigned cores_per_node,
   Topology t;
   t.core_ = core;
   t.cores_per_node_ = cores_per_node;
-  t.nodes_.assign(nodes, node);
+  t.nodes_ = std::move(node_specs);
   t.links_ = std::move(links);
   t.node_cores_.resize(nodes);
   for (NodeId n = 0; n < nodes; ++n) {
@@ -95,6 +112,19 @@ std::span<const CoreId> Topology::cores_of_node(NodeId n) const {
   return node_cores_.at(n);
 }
 
+bool Topology::tiered() const {
+  for (const NodeSpec& n : nodes_)
+    if (n.tier != MemTier::kDram) return true;
+  return false;
+}
+
+std::vector<NodeId> Topology::nodes_of_tier(MemTier t) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < num_nodes(); ++n)
+    if (nodes_[n].tier == t) out.push_back(n);
+  return out;
+}
+
 std::span<const LinkId> Topology::route(NodeId a, NodeId b) const {
   return routes_.at(idx(a, b));
 }
@@ -118,6 +148,9 @@ std::string Topology::describe() const {
     for (CoreId c : cores_of_node(n)) os << ' ' << c;
     os << "\nnode " << n << " size: " << (node_spec(n).dram_capacity_bytes >> 20)
        << " MB\n";
+    if (tiered())
+      os << "node " << n << " tier: " << mem_tier_name(node_spec(n).tier)
+         << '\n';
   }
   os << "node distances:\nnode ";
   for (NodeId j = 0; j < num_nodes(); ++j) os << "  " << j;

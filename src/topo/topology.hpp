@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,18 @@ struct CoreSpec {
   double peak_gflops() const { return clock_ghz * dp_flops_per_cycle; }
 };
 
+/// Memory tier of a node, ordered fastest-first so `tier_of(a) < tier_of(b)`
+/// means "a is the faster medium". kDram is the classic symmetric node the
+/// paper models; kFast is a small HBM/MCDRAM-like device; kFar is a
+/// CXL/NVM-like device with asymmetric read/write bandwidth.
+enum class MemTier : std::uint8_t {
+  kFast = 0,  ///< HBM-like: high bandwidth, low latency, small capacity
+  kDram = 1,  ///< plain DDR node (the default; all-kDram machines are "flat")
+  kFar = 2,   ///< CXL/NVM-like: slow, write-asymmetric, large capacity
+};
+
+const char* mem_tier_name(MemTier t);
+
 struct NodeSpec {
   /// Sustained local DRAM bandwidth (bytes per microsecond; 6400 = 6.4 GB/s).
   double dram_bytes_per_us = 6400.0;
@@ -48,6 +61,27 @@ struct NodeSpec {
   std::uint64_t dram_capacity_bytes = 8ull << 30;
   /// Shared L3 per node (paper: 2 MB); used by the cache model.
   std::uint64_t l3_bytes = 2ull << 20;
+  /// Memory tier of this node (see MemTier). Flat machines are all-kDram.
+  MemTier tier = MemTier::kDram;
+  /// Sustained *write* bandwidth (bytes/us). 0 means symmetric (writes run
+  /// at dram_bytes_per_us); NVM-like tiers set this below the read rate and
+  /// the hardware model stretches write streams by the ratio.
+  double dram_write_bytes_per_us = 0;
+};
+
+/// Structured from_spec failure: carries the offending key and raw token so
+/// callers (CLIs, tests) can point at the exact input instead of parsing a
+/// message. Derives from std::invalid_argument, so pre-existing catch sites
+/// keep working.
+struct SpecError : std::invalid_argument {
+  SpecError(const std::string& what, std::string key_arg,
+            std::string token_arg)
+      : std::invalid_argument(what),
+        key(std::move(key_arg)),
+        token(std::move(token_arg)) {}
+
+  std::string key;    ///< spec key involved ("tiers", "nodes", ...; may be "")
+  std::string token;  ///< offending raw token, if one was isolated
 };
 
 struct LinkSpec {
@@ -74,11 +108,29 @@ class Topology {
                         const CoreSpec& core, const NodeSpec& node,
                         std::vector<LinkSpec> links);
 
+  /// Heterogeneous variant: one NodeSpec per node (tiers, asymmetric write
+  /// bandwidth, per-node capacities). nodes.size() fixes the node count.
+  static Topology build(std::vector<NodeSpec> nodes, unsigned cores_per_node,
+                        const CoreSpec& core, std::vector<LinkSpec> links);
+
   /// Build from a compact textual spec, e.g.
   ///   "nodes=8 cores=2 shape=ring link_bw=2200 hop_ns=15 dram_bw=6400"
   /// Keys (all optional except nodes/cores): shape=ring|line|mesh|star,
   /// link_bw (bytes/us), hop_ns, dram_bw (bytes/us), dram_ns, l3_mb,
-  /// mem_gb, ghz, flops_per_cycle. Throws std::invalid_argument on errors.
+  /// mem_gb, ghz, flops_per_cycle.
+  ///
+  /// Memory tiers: `tiers=fast:1,dram:2,far:1` assigns tiers to node ids in
+  /// listed order (here node 0 is kFast, nodes 1-2 kDram, node 3 kFar); the
+  /// counts must sum to `nodes`. Omitting `tiers` keeps the machine flat
+  /// (all kDram) and byte-identical to pre-tier behavior. Tier node specs
+  /// derive from the dram values unless overridden with:
+  ///   fast_bw, fast_ns, fast_mb   (default 3x dram_bw, dram_ns/2, 64 MB)
+  ///   far_bw, far_ns, far_mb      (default dram_bw/2, 3x dram_ns, mem_gb)
+  ///   far_wr_bw                   (write bandwidth; default far_bw/2)
+  /// Capacities for fast/far are in MB — device tiers are small by design.
+  ///
+  /// Throws topo::SpecError (derives std::invalid_argument) carrying the
+  /// offending key and token.
   static Topology from_spec(const std::string& spec);
 
   unsigned num_nodes() const { return static_cast<unsigned>(nodes_.size()); }
@@ -104,6 +156,16 @@ class Topology {
 
   /// The paper's "NUMA factor": remote/local latency ratio.
   double numa_factor(NodeId from, NodeId to) const;
+
+  /// Memory tier of node `n`.
+  MemTier tier_of(NodeId n) const { return nodes_.at(n).tier; }
+
+  /// True when any node sits on a non-kDram tier (the machine is
+  /// heterogeneous and tier-aware placement has something to do).
+  bool tiered() const;
+
+  /// All node ids on tier `t`, ascending.
+  std::vector<NodeId> nodes_of_tier(MemTier t) const;
 
   /// Mask containing every node.
   NodeMask all_nodes_mask() const {

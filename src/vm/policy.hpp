@@ -9,10 +9,12 @@
 namespace numasim::vm {
 
 enum class PolicyMode : std::uint8_t {
-  kDefault,     // first-touch: allocate on the faulting core's node
-  kBind,        // allocate only within the node mask
-  kInterleave,  // round-robin across the node mask, by page offset
-  kPreferred,   // try one node, fall back near it
+  kDefault,        // first-touch: allocate on the faulting core's node
+  kBind,           // allocate only within the node mask
+  kInterleave,     // round-robin across the node mask, by page offset
+  kPreferred,      // try one node, fall back near it
+  kPreferredMany,  // MPOL_PREFERRED_MANY: try the mask's nodes in kernel
+                   // order (tier, then distance), fall back anywhere
 };
 
 struct MemPolicy {
@@ -24,6 +26,14 @@ struct MemPolicy {
   static MemPolicy interleave(topo::NodeMask m) { return {PolicyMode::kInterleave, m}; }
   static MemPolicy preferred(topo::NodeId n) {
     return {PolicyMode::kPreferred, topo::node_mask_of(n)};
+  }
+  /// MPOL_PREFERRED_MANY-style ordered preference over a node set. The
+  /// kernel ranks the mask's nodes by memory tier (fast first), then by
+  /// distance from the faulting core, and falls back to the zonelist when
+  /// every preferred node is full — allocation never hard-fails on tier
+  /// pressure. See lib::tier_preferred() for the common all-tiers mask.
+  static MemPolicy preferred_many(topo::NodeMask m) {
+    return {PolicyMode::kPreferredMany, m};
   }
 
   friend bool operator==(const MemPolicy&, const MemPolicy&) = default;
@@ -39,6 +49,10 @@ struct MemPolicy {
       case PolicyMode::kPreferred:
         return first_node(num_nodes);
       case PolicyMode::kBind:
+        return first_node(num_nodes);
+      case PolicyMode::kPreferredMany:
+        // Tier-blind fallback (the kernel's fault path refines this with
+        // its tier ranking; see Kernel::preferred_many_target).
         return first_node(num_nodes);
       case PolicyMode::kInterleave: {
         const unsigned weight = popcount(num_nodes);

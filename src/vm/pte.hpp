@@ -57,6 +57,10 @@ struct Pte {
   /// Node of the last hint fault on this page (two-reference confirmation,
   /// like page_cpupid_last); kNoNumaNode until the first hint fault.
   std::uint8_t numa_last = kNoNumaNode;
+  /// Scan windows this page has carried kNumaHint without a refault —
+  /// cold-page evidence for tier demotion (saturating; reset on any hint
+  /// fault and after a demotion).
+  std::uint8_t numa_idle = 0;
   /// Write-generation stamp: bumped on every write access (and poke), never
   /// timed. The transactional migrator snapshots it before the shadow copy
   /// and re-verifies it before the commit flip — the simulated dirty bit
