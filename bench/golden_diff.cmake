@@ -1,0 +1,16 @@
+# Determinism regression check: run a bench binary in its pinned quick
+# configuration and require byte-identical output to the golden CSV.
+# Invoked by the golden_* ctest entries (see CMakeLists.txt) with
+#   -DBIN=<bench binary> -DGOLDEN=<golden csv> -DOUT=<scratch output>
+execute_process(COMMAND ${BIN} --quick --csv
+                OUTPUT_FILE ${OUT} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} --quick --csv failed (exit ${rc})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "determinism regression: ${OUT} differs from ${GOLDEN}; if the "
+          "change is intended, regenerate the golden and say so in the PR")
+endif()

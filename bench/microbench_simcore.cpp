@@ -1,110 +1,265 @@
-// google-benchmark microbenchmarks of the simulator core itself: how many
-// engine events, page-table walks and fault handlings the host can push per
-// second. These bound how large a simulated experiment is practical (the
-// Table 1 32k runs walk ~10^8 pages).
-#include <benchmark/benchmark.h>
-
+// Host-performance microbenchmarks of the simulator core itself: how fast the
+// engine, page-table walks, fault paths, the AutoNUMA scanner, and the ranged
+// migration engine run on the *host*. These bound how large a simulated
+// experiment is practical (the Table 1 32k runs walk ~10^8 pages).
+//
+// Unlike the fig*/table*/ablation_* binaries this one measures wall-clock, so
+// its numbers vary run to run; the `checksum` column is the part that must
+// not: it folds the final simulated clock and kernel counters of each
+// scenario, so two builds that disagree on any simulated event disagree on
+// the checksum. CI appends the wall-clock rows to BENCH_simcore.json (see
+// docs/performance.md) and fails on regressions.
+//
+// The scenario matrix is (scenario x nodes x pages x lock model); override
+// the axes with --nodes=/--pages= (comma-separated lists). Only seed-era
+// public APIs are used, so the same source builds against older checkouts
+// for honest before/after measurement.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "kern/kernel.hpp"
+#include "rt/machine.hpp"
 #include "rt/team.hpp"
+#include "rt/thread.hpp"
 
 using namespace numasim;
 
 namespace {
 
-void BM_EngineEventThroughput(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Engine e;
-    const std::int64_t n = state.range(0);
-    e.start([](sim::Engine& eng, std::int64_t steps) -> sim::Task<void> {
-      for (std::int64_t i = 0; i < steps; ++i) co_await eng.advance(10);
-    }(e, n));
-    e.run();
-    benchmark::DoNotOptimize(e.events_processed());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+/// FNV-1a fold for the determinism checksum column.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ull;
 }
-BENCHMARK(BM_EngineEventThroughput)->Arg(1 << 12)->Arg(1 << 16);
 
-void BM_PageTableWalk(benchmark::State& state) {
-  vm::PageTable pt;
-  const std::int64_t pages = state.range(0);
-  for (vm::Vpn v = 0; v < static_cast<vm::Vpn>(pages); ++v)
-    pt.ensure(v).set(vm::Pte::kPresent | vm::Pte::kHwRead);
-  for (auto _ : state) {
-    std::uint64_t present = 0;
-    for (vm::Vpn v = 0; v < static_cast<vm::Vpn>(pages); ++v)
-      present += pt.find(v)->present();
-    benchmark::DoNotOptimize(present);
-  }
-  state.SetItemsProcessed(state.iterations() * pages);
+struct Scenario {
+  const char* name;
+  /// Runs the scenario; returns the determinism checksum.
+  std::uint64_t (*run)(const topo::Topology&, kern::LockModel, std::uint64_t);
+};
+
+kern::KernelConfig config_for(const topo::Topology& topo, kern::LockModel lm) {
+  kern::KernelConfig cfg;
+  cfg.topology = topo;
+  cfg.backing = mem::Backing::kPhantom;
+  cfg.lock_model = lm;
+  return cfg;
 }
-BENCHMARK(BM_PageTableWalk)->Arg(1 << 10)->Arg(1 << 16);
 
-void BM_FirstTouchFaultPath(benchmark::State& state) {
-  const topo::Topology topo = topo::Topology::quad_opteron();
-  const std::int64_t pages = state.range(0);
-  for (auto _ : state) {
-    kern::Kernel k(kern::KernelConfig{.topology = topo,
-                                      .backing = mem::Backing::kPhantom});
-    const kern::Pid pid = k.create_process();
+/// Pure engine throughput: one coroutine advancing simulated time, one event
+/// per step (frame allocation + queue churn dominated).
+std::uint64_t run_events(const topo::Topology&, kern::LockModel,
+                         std::uint64_t pages) {
+  const std::uint64_t steps = pages * 8;
+  sim::Engine e;
+  e.start([](sim::Engine& eng, std::uint64_t n) -> sim::Task<void> {
+    for (std::uint64_t i = 0; i < n; ++i) co_await eng.advance(10);
+  }(e, steps));
+  e.run();
+  return mix(e.events_processed(), e.now());
+}
+
+/// Fork-join churn: repeated parallel regions over all cores (coroutine
+/// frame allocation + same-timestamp posting dominated).
+std::uint64_t run_forkjoin(const topo::Topology& topo, kern::LockModel lm,
+                           std::uint64_t pages) {
+  const std::uint64_t regions = pages / 16 == 0 ? 1 : pages / 16;
+  rt::Machine::Config mc = config_for(topo, lm);
+  rt::Machine m(mc);
+  bench::observe(m);
+  m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
+    for (std::uint64_t i = 0; i < regions; ++i) {
+      rt::Team team = rt::Team::all_cores(m);
+      rt::Team::WorkerFn w = [](unsigned, rt::Thread& wt) -> sim::Task<void> {
+        co_await wt.compute(1000);
+      };
+      co_await team.parallel(th, std::move(w));
+    }
+  });
+  return mix(m.engine().events_processed(), m.engine().now());
+}
+
+/// First-touch fault storm: allocate and write-fault `pages` fresh pages.
+std::uint64_t run_faults(const topo::Topology& topo, kern::LockModel lm,
+                         std::uint64_t pages) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (int rep = 0; rep < 4; ++rep) {
+    kern::Kernel k(config_for(topo, lm));
+    bench::observe(k);
     kern::ThreadCtx t;
-    t.pid = pid;
-    const vm::Vaddr a =
-        k.sys_mmap(t, pages * mem::kPageSize, vm::Prot::kReadWrite);
-    k.access(t, a, pages * mem::kPageSize, vm::Prot::kWrite, 3500.0);
-    benchmark::DoNotOptimize(k.stats().minor_faults);
-  }
-  state.SetItemsProcessed(state.iterations() * pages);
-}
-BENCHMARK(BM_FirstTouchFaultPath)->Arg(1 << 10)->Arg(1 << 14);
-
-void BM_NextTouchMigrationPath(benchmark::State& state) {
-  const topo::Topology topo = topo::Topology::quad_opteron();
-  const std::int64_t pages = state.range(0);
-  for (auto _ : state) {
-    kern::Kernel k(kern::KernelConfig{.topology = topo,
-                                      .backing = mem::Backing::kPhantom});
-    const kern::Pid pid = k.create_process();
-    kern::ThreadCtx t;
-    t.pid = pid;
+    t.pid = k.create_process();
     const std::uint64_t len = pages * mem::kPageSize;
     const vm::Vaddr a = k.sys_mmap(t, len, vm::Prot::kReadWrite);
     k.access(t, a, len, vm::Prot::kWrite, 3500.0);
-    k.sys_madvise(t, a, len, kern::Advice::kMigrateOnNextTouch);
-    kern::ThreadCtx r;
-    r.pid = pid;
-    r.core = 4;
-    r.clock = t.clock;
-    k.access(r, a, len, vm::Prot::kRead, 0.0);
-    benchmark::DoNotOptimize(k.stats().pages_migrated_nexttouch);
+    h = mix(h, t.clock);
+    h = mix(h, k.stats().minor_faults);
   }
-  state.SetItemsProcessed(state.iterations() * pages);
+  return h;
 }
-BENCHMARK(BM_NextTouchMigrationPath)->Arg(1 << 10)->Arg(1 << 14);
 
-void BM_ParallelRegionForkJoin(benchmark::State& state) {
-  for (auto _ : state) {
-    rt::Machine::Config mc;
-    mc.backing = mem::Backing::kPhantom;
-    rt::Machine m(mc);
-    const std::int64_t regions = state.range(0);
-    m.run_main(0, [&](rt::Thread& th) -> sim::Task<void> {
-      rt::Team team = rt::Team::all_cores(m);
-      for (std::int64_t i = 0; i < regions; ++i) {
-        rt::Team::WorkerFn w = [](unsigned, rt::Thread& wt) -> sim::Task<void> {
-          co_await wt.compute(1000);
-        };
-        co_await team.parallel(th, std::move(w));
-      }
-    });
-    benchmark::DoNotOptimize(m.engine().events_processed());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+/// Page-table walk: populate `pages` pages once, then sweep the range with
+/// the kernel's residency query (the hot inspection path every figure uses).
+std::uint64_t run_pt_walk(const topo::Topology& topo, kern::LockModel lm,
+                          std::uint64_t pages) {
+  kern::Kernel k(config_for(topo, lm));
+  bench::observe(k);
+  kern::ThreadCtx t;
+  t.pid = k.create_process();
+  const std::uint64_t len = pages * mem::kPageSize;
+  const vm::Vaddr a = k.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  std::uint64_t h = mix(14695981039346656037ull, t.clock);
+  std::uint64_t resident = 0;
+  for (int rep = 0; rep < 128; ++rep)
+    for (topo::NodeId n = 0; n < k.topo().num_nodes(); ++n)
+      resident += k.pages_on_node(t.pid, a, len, n);
+  return mix(h, resident);
 }
-BENCHMARK(BM_ParallelRegionForkJoin)->Arg(64);
+
+/// AutoNUMA scan windows: enable balancing with an aggressive period and
+/// re-touch the region so every pass is one scan window (tag + hint faults).
+std::uint64_t run_numab_scan(const topo::Topology& topo, kern::LockModel lm,
+                             std::uint64_t pages) {
+  kern::KernelConfig cfg = config_for(topo, lm);
+  cfg.numa_balancing.enabled = true;
+  cfg.numa_balancing.scan_period = 50'000;  // 50 us: every pass scans
+  cfg.numa_balancing.scan_size_pages = pages;
+  kern::Kernel k(cfg);
+  bench::observe(k);
+  kern::ThreadCtx t;
+  t.pid = k.create_process();
+  const std::uint64_t len = pages * mem::kPageSize;
+  const vm::Vaddr a = k.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  for (int pass = 0; pass < 16; ++pass)
+    k.access(t, a, len, vm::Prot::kRead, 3500.0);
+  std::uint64_t h = mix(14695981039346656037ull, t.clock);
+  h = mix(h, k.stats().numab_pages_scanned);
+  return mix(h, k.stats().numab_hint_faults);
+}
+
+/// Ranged migration ping-pong: the paper's proposed interface, driven hard.
+std::uint64_t run_migrate_ranged(const topo::Topology& topo,
+                                 kern::LockModel lm, std::uint64_t pages) {
+  kern::Kernel k(config_for(topo, lm));
+  bench::observe(k);
+  kern::ThreadCtx t;
+  t.pid = k.create_process();
+  const std::uint64_t len = pages * mem::kPageSize;
+  const vm::Vaddr a = k.sys_mmap(t, len, vm::Prot::kReadWrite);
+  k.access(t, a, len, vm::Prot::kWrite, 3500.0);
+  std::uint64_t h = 14695981039346656037ull;
+  const topo::NodeId nn = k.topo().num_nodes();
+  for (int round = 0; round < 8; ++round) {
+    const kern::Kernel::MoveRange r{a, len,
+                                    static_cast<topo::NodeId>(round % nn)};
+    h = mix(h, static_cast<std::uint64_t>(
+                   k.sys_move_pages_ranged(t, {&r, 1})));
+  }
+  h = mix(h, t.clock);
+  return mix(h, k.stats().pages_migrated_move);
+}
+
+constexpr Scenario kScenarios[] = {
+    {"events", run_events},
+    {"forkjoin", run_forkjoin},
+    {"faults", run_faults},
+    {"pt_walk", run_pt_walk},
+    {"numab_scan", run_numab_scan},
+    {"migrate_ranged", run_migrate_ranged},
+};
+
+/// Parse "a,b,c" into unsigned values; exits 2 on junk.
+std::vector<std::uint64_t> parse_list(const char* prog, const char* flag,
+                                      const char* s) {
+  std::vector<std::uint64_t> out;
+  const char* p = s;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || v == 0 || (*end != ',' && *end != '\0')) {
+      std::fprintf(stderr, "%s: bad %s list '%s'\n", prog, flag, s);
+      std::exit(2);
+    }
+    out.push_back(v);
+    p = *end == ',' ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s: empty %s list\n", prog, flag);
+    std::exit(2);
+  }
+  return out;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Matrix axes are local flags; everything else (--csv/--quick/--metrics/
+  // --trace=/--lock-model=...) goes through the shared strict parser.
+  std::vector<std::uint64_t> nodes_axis;
+  std::vector<std::uint64_t> pages_axis;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      nodes_axis = parse_list(argv[0], "--nodes", argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--pages=", 8) == 0) {
+      pages_axis = parse_list(argv[0], "--pages", argv[i] + 8);
+    } else {
+      if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)
+        std::fprintf(stderr,
+                     "%s extra flags:\n"
+                     "  --nodes=N,...  node counts to sweep (default 2,4)\n"
+                     "  --pages=N,...  pages per scenario (default 4096,32768)\n",
+                     argv[0]);
+      rest.push_back(argv[i]);
+    }
+  }
+  const bench::Options opt =
+      bench::parse_options(static_cast<int>(rest.size()), rest.data());
+  bench::Observability obs(opt);
+
+  if (nodes_axis.empty()) nodes_axis = opt.quick ? std::vector<std::uint64_t>{4}
+                                                 : std::vector<std::uint64_t>{2, 4};
+  if (pages_axis.empty())
+    pages_axis = opt.quick ? std::vector<std::uint64_t>{2048}
+                           : std::vector<std::uint64_t>{4096, 32768};
+  const std::vector<kern::LockModel> locks =
+      opt.quick ? std::vector<kern::LockModel>{kern::LockModel::kCoarse}
+                : std::vector<kern::LockModel>{kern::LockModel::kCoarse,
+                                               kern::LockModel::kRange};
+
+  bench::print_header(opt, "simulator-core host performance",
+                      {"scenario", "nodes", "pages", "lock_model", "wall_ms",
+                       "checksum"});
+  for (const Scenario& sc : kScenarios) {
+    for (const std::uint64_t nn : nodes_axis) {
+      const topo::Topology topo = topo::Topology::from_spec(
+          "nodes=" + std::to_string(nn) + " cores=2");
+      for (const std::uint64_t pages : pages_axis) {
+        for (const kern::LockModel lm : locks) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const std::uint64_t checksum = sc.run(topo, lm, pages);
+          const auto t1 = std::chrono::steady_clock::now();
+          const double ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          char sum[32];
+          std::snprintf(sum, sizeof sum, "%016llx",
+                        static_cast<unsigned long long>(checksum));
+          bench::print_row(opt, {sc.name, std::to_string(nn),
+                                 std::to_string(pages),
+                                 lm == kern::LockModel::kCoarse ? "coarse"
+                                                                : "range",
+                                 bench::fmt(ms, "%.3f"), sum});
+        }
+      }
+    }
+  }
+  obs.finish();
+  return 0;
+}

@@ -10,13 +10,14 @@ double HwState::path_rate(topo::NodeId core_node, topo::NodeId mem_node,
   // the memory is: outstanding-request capacity divided by round-trip
   // latency. We scale the requester's local rate by the latency ratio
   // (local / remote), which yields exactly the paper's NUMA factor of
-  // 1.2-1.4 for one and two hops on the default machine.
+  // 1.2-1.4 for one and two hops on the default machine. The ratio and the
+  // first-hop link cap are precomputed per node pair (pidx) — this runs
+  // once per stream, i.e. per contiguous access run and per fault.
   double rate = engine_rate;
   if (core_node != mem_node) {
-    const double local = static_cast<double>(topo_.node_spec(core_node).dram_latency);
-    const double remote = static_cast<double>(topo_.access_latency(core_node, mem_node));
-    rate = engine_rate * (local / remote);
-    rate = std::min(rate, topo_.link_spec(topo_.route(core_node, mem_node)[0]).bytes_per_us);
+    const std::size_t i = pidx(core_node, mem_node);
+    rate = engine_rate * path_scale_[i];
+    rate = std::min(rate, path_linkcap_[i]);
   }
   const double device = dir == MemDir::kWrite
                             ? wr_rate_[mem_node]

@@ -141,6 +141,21 @@ class HwState {
     for (topo::LinkId l = 0; l < topo.num_links(); ++l) {
       links_.emplace_back(topo.link_spec(l).bytes_per_us, 0);
     }
+    // Per-pair stream-rate inputs, precomputed so path_rate is O(1): the
+    // local/remote latency ratio and the first-hop link bandwidth cap.
+    // Same-node entries are never read (path_rate short-circuits).
+    const std::size_t nn = std::size_t{topo.num_nodes()} * topo.num_nodes();
+    path_scale_.assign(nn, 1.0);
+    path_linkcap_.assign(nn, 0.0);
+    for (topo::NodeId c = 0; c < topo.num_nodes(); ++c) {
+      for (topo::NodeId m = 0; m < topo.num_nodes(); ++m) {
+        if (c == m) continue;
+        const double local = static_cast<double>(topo.node_spec(c).dram_latency);
+        const double remote = static_cast<double>(topo.access_latency(c, m));
+        path_scale_[pidx(c, m)] = local / remote;
+        path_linkcap_[pidx(c, m)] = topo.link_spec(topo.route(c, m)[0]).bytes_per_us;
+      }
+    }
   }
 
   /// Stream `bytes` between DRAM on `mem_node` and a core on `core_node`,
@@ -184,11 +199,17 @@ class HwState {
                                       0.5);
   }
 
+  std::size_t pidx(topo::NodeId a, topo::NodeId b) const {
+    return std::size_t{a} * topo_.num_nodes() + b;
+  }
+
   const topo::Topology& topo_;
   std::vector<sim::BandwidthResource> dram_;
   std::vector<sim::BandwidthResource> links_;
   std::vector<double> wr_scale_;  ///< read_bw / write_bw per node (1.0 = sym)
   std::vector<double> wr_rate_;   ///< effective write bandwidth per node
+  std::vector<double> path_scale_;    ///< n x n local/remote latency ratio
+  std::vector<double> path_linkcap_;  ///< n x n first-hop link bytes/us
 };
 
 }  // namespace numasim::kern

@@ -34,6 +34,7 @@
 #include "kern/hw_state.hpp"
 #include "kern/kmigrated.hpp"
 #include "kern/numab.hpp"
+#include "kern/placement.hpp"
 #include "kern/replication.hpp"
 #include "kern/tiers.hpp"
 #include "kern/txn_migrate.hpp"
@@ -58,6 +59,10 @@ struct ThreadCtx {
   sim::Time clock = 0;
   sim::CostStats stats;
   unsigned signal_depth = 0;  ///< >0 while running inside a SIGSEGV handler
+  /// Host-side cache of this thread's numa-balancing fault table
+  /// (&process.numab.tasks[tid]; map nodes are pointer-stable and never
+  /// erased). Avoids a tree lookup on every hint fault.
+  NumabTaskStats* numab_ts = nullptr;
 };
 
 /// Information passed to a registered SIGSEGV handler.
@@ -470,6 +475,10 @@ class Kernel {
     std::unordered_map<std::uint64_t, RangeLock> vma_locks;
     ReplicaTable replicas;
     NumabState numab;
+    // Per-chunk per-node present-page counts; see placement.hpp. Every site
+    // that maps, remaps, or unmaps a home frame keeps it current, and
+    // validate() audits it against the page table.
+    PlacementCounts placement;
   };
 
   Process& proc(Pid pid);
@@ -653,7 +662,14 @@ class Kernel {
   /// grant's end if the pipeline is backed up. A single migrating thread is
   /// never extended.
   void serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
-                           std::uint64_t pages, sim::Time per_page);
+                           std::uint64_t pages, sim::Time per_page) {
+    // Inline zero-page early-out: most accesses migrate nothing, and this
+    // runs once per access/syscall on the hot path.
+    if (pages == 0) return;
+    do_serialize_migration(t, p, entry, pages, per_page);
+  }
+  void do_serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
+                              std::uint64_t pages, sim::Time per_page);
 
   /// kRange replacement for serialize_migration: reserves an exclusive hold
   /// on the range locks covering [lo, hi) from `entry` for the pages'
@@ -662,7 +678,13 @@ class Kernel {
   /// never queue on each other; overlapping ones pay a lock bounce.
   void serialize_migration_ranged(ThreadCtx& t, Process& p, vm::Vaddr lo,
                                   vm::Vaddr hi, sim::Time entry,
-                                  std::uint64_t pages, sim::Time per_page);
+                                  std::uint64_t pages, sim::Time per_page) {
+    if (pages == 0) return;
+    do_serialize_migration_ranged(t, p, lo, hi, entry, pages, per_page);
+  }
+  void do_serialize_migration_ranged(ThreadCtx& t, Process& p, vm::Vaddr lo,
+                                     vm::Vaddr hi, sim::Time entry,
+                                     std::uint64_t pages, sim::Time per_page);
 
   /// Reserve the range locks of every VMA overlapping [lo, hi) for `hold`
   /// starting no earlier than `start`. Returns the combined slot (start =

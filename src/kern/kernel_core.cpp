@@ -180,6 +180,7 @@ Pid Kernel::create_process(std::string name) {
   p->pid = static_cast<Pid>(procs_.size());
   p->name = std::move(name);
   p->replicas.set_num_nodes(topo_.num_nodes());
+  p->placement.init(topo_.num_nodes());
   procs_.push_back(std::move(p));
   return procs_.back()->pid;
 }
@@ -313,13 +314,13 @@ void Kernel::populate_page(ThreadCtx& t, Process& p, const vm::Vma& vma,
   pte.frame = frame;
   pte.flags = vm::Pte::kPresent | vm::Pte::kAccessed;
   pte.restore_hw(vma.prot);
+  p.placement.inc(vpn, phys_.node_of(frame));
   ++kstats_.minor_faults;
   trace(t, EventType::kMinorFault, vpn, 1, topo::kInvalidNode, phys_.node_of(frame));
 }
 
-void Kernel::serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
-                                 std::uint64_t pages, sim::Time per_page) {
-  if (pages == 0) return;
+void Kernel::do_serialize_migration(ThreadCtx& t, Process& p, sim::Time entry,
+                                    std::uint64_t pages, sim::Time per_page) {
   const sim::Slot slot = p.migration_pipeline.reserve(entry, pages * per_page);
   if (slot.finish > t.clock) {
     t.stats.add(sim::CostKind::kLockWait, slot.finish - t.clock);
@@ -367,10 +368,10 @@ sim::Time Kernel::shootdown_round(std::uint64_t pages) {
   return c;
 }
 
-void Kernel::serialize_migration_ranged(ThreadCtx& t, Process& p, vm::Vaddr lo,
-                                        vm::Vaddr hi, sim::Time entry,
-                                        std::uint64_t pages, sim::Time per_page) {
-  if (pages == 0) return;
+void Kernel::do_serialize_migration_ranged(ThreadCtx& t, Process& p,
+                                           vm::Vaddr lo, vm::Vaddr hi,
+                                           sim::Time entry, std::uint64_t pages,
+                                           sim::Time per_page) {
   // The run's serialized work plus one coalesced shootdown round, held on
   // the range locks only — disjoint runs never see each other.
   const sim::Time hold = pages * per_page + shootdown_round(pages);
@@ -512,6 +513,7 @@ Kernel::MigrateResult Kernel::do_migrate_page(ThreadCtx& t, Process& p,
   }
   phys_.free(old_frame);
   pte.frame = new_frame;
+  p.placement.move(vpn, from, phys_.node_of(new_frame));
   return MigrateResult::kOk;
 }
 
@@ -544,6 +546,7 @@ void Kernel::populate_huge_block(ThreadCtx& t, Process& p, const vm::Vma& vma,
     pte.frame = f;
     pte.flags = vm::Pte::kPresent | vm::Pte::kAccessed | vm::Pte::kHuge;
     pte.restore_hw(vma.prot);
+    p.placement.inc(v, phys_.node_of(f));
   }
   ++kstats_.minor_faults;
 }
@@ -771,32 +774,43 @@ AccessResult Kernel::access(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
     run_bytes = 0;
   };
 
-  for (; vpn < vpn_end; ++vpn) {
-    const vm::Vaddr page_start = vm::addr_of(vpn);
-    const vm::Vaddr lo = std::max(addr, page_start);
-    const vm::Vaddr hi = std::min(end, page_start + mem::kPageSize);
-
+  // PTEs are walked by pointer within each 512-entry chunk (arena-backed,
+  // address-stable even when a fault grows the table): one find() per
+  // chunk/fault instead of one per page. Fault handling and the per-page
+  // stream accounting happen in exactly the per-page order of old code.
+  const bool writing = prot_allows(want, vm::Prot::kWrite);
+  while (vpn < vpn_end) {
     vm::Pte* pte = pt.find(vpn);
     unsigned retries = 0;
     while (pte == nullptr || !pte->hw_allows(want)) {
       flush_run();
-      if (++retries > kMaxFaultRetries) throw SegfaultError{lo};
-      handle_fault(t, p, lo, want, res, &copies);
+      if (++retries > kMaxFaultRetries)
+        throw SegfaultError{std::max(addr, vm::addr_of(vpn))};
+      handle_fault(t, p, std::max(addr, vm::addr_of(vpn)), want, res, &copies);
       pte = pt.find(vpn);
     }
-    if (prot_allows(want, vm::Prot::kWrite)) {
-      pte->set(vm::Pte::kDirty);
-      ++pte->write_gen;
-      pte->last_write = t.clock;
+    const vm::Vpn chunk_end =
+        std::min(vpn_end, (vpn | (vm::PageTable::kChunkPages - 1)) + 1);
+    for (;;) {
+      const vm::Vaddr page_start = vm::addr_of(vpn);
+      const vm::Vaddr lo = std::max(addr, page_start);
+      const vm::Vaddr hi = std::min(end, page_start + mem::kPageSize);
+      if (writing) {
+        pte->set(vm::Pte::kDirty);
+        ++pte->write_gen;
+      }
+      topo::NodeId node = phys_.node_of(pte->frame);
+      if ((pte->flags & vm::Pte::kReplica) && !writing)
+        node = resolve_replica(t, p, *pte, vpn, core_node, &copies);
+      if (node != run_node) flush_run();
+      run_node = node;
+      run_bytes += hi - lo;
+      ++res.pages;
+      ++vpn;
+      if (vpn == chunk_end) break;
+      ++pte;
+      if (!pte->hw_allows(want)) break;  // back to the fault path
     }
-
-    topo::NodeId node = phys_.node_of(pte->frame);
-    if ((pte->flags & vm::Pte::kReplica) && !prot_allows(want, vm::Prot::kWrite))
-      node = resolve_replica(t, p, *pte, vpn, core_node, &copies);
-    if (node != run_node) flush_run();
-    run_node = node;
-    run_bytes += hi - lo;
-    ++res.pages;
   }
   flush_run();
   flush_copy_batch(t, copies, sim::CostKind::kNextTouchCopy);
@@ -857,7 +871,6 @@ AccessResult Kernel::access_strided(ThreadCtx& t, vm::Vaddr base,
       if (prot_allows(want, vm::Prot::kWrite)) {
         pte->set(vm::Pte::kDirty);
         ++pte->write_gen;
-        pte->last_write = t.clock;
       }
       topo::NodeId node = phys_.node_of(pte->frame);
       if ((pte->flags & vm::Pte::kReplica) && !prot_allows(want, vm::Prot::kWrite))
@@ -969,13 +982,17 @@ void Kernel::teardown_unmap(Pid pid, vm::Vaddr addr, std::uint64_t len) {
   if (len == 0) return;
   Process& p = proc(pid);
   const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
-  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
-    vm::Pte* pte = p.as.page_table().find(vpn);
-    if (pte != nullptr && pte->present()) {
-      for (mem::FrameId f : p.replicas.take(vpn)) phys_.free(f);
-      phys_.free(pte->frame);
+  auto teardown_run = [&](vm::PageRun run) {
+    vm::Vpn vpn = run.first;
+    for (vm::Pte& pte : run.ptes) {
+      const vm::Vpn v = vpn++;
+      if (!pte.present()) continue;
+      for (mem::FrameId f : p.replicas.take(v)) phys_.free(f);
+      p.placement.dec(v, phys_.node_of(pte.frame));
+      phys_.free(pte.frame);
     }
-  }
+  };
+  p.as.page_table().for_each_run(vm::vpn_of(addr), vend, teardown_run);
   p.as.unmap(addr, len);
 }
 
@@ -1028,12 +1045,28 @@ std::uint64_t Kernel::pages_on_node(Pid pid, vm::Vaddr addr, std::uint64_t len,
                                     topo::NodeId node) const {
   const Process& p = proc(pid);
   std::uint64_t count = 0;
-  const vm::Vpn end = vm::vpn_of(addr + len - 1) + 1;
-  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < end; ++vpn) {
-    const vm::Pte* pte = p.as.page_table().find(vpn);
-    if (pte != nullptr && pte->present() && phys_.node_of(pte->frame) == node)
-      ++count;
+  const vm::Vpn vbegin = vm::vpn_of(addr);
+  const vm::Vpn vend = vm::vpn_of(addr + len - 1) + 1;
+  auto scan = [&](vm::Vpn a, vm::Vpn b) {
+    p.as.page_table().for_each_run(a, b, [&](vm::ConstPageRun run) {
+      for (const vm::Pte& pte : run.ptes)
+        if (pte.present() && phys_.node_of(pte.frame) == node) ++count;
+    });
+  };
+  // Fully-covered chunks read one maintained counter each; only the partial
+  // chunks at the range edges fall back to the per-PTE walk.
+  constexpr vm::Vpn kC = vm::PageTable::kChunkPages;
+  const vm::Vpn full_lo = (vbegin + kC - 1) & ~(kC - 1);
+  const vm::Vpn full_hi = vend & ~(kC - 1);
+  if (full_lo >= full_hi) {
+    scan(vbegin, vend);
+    return count;
   }
+  scan(vbegin, full_lo);
+  for (std::uint64_t key = full_lo >> vm::PageTable::kChunkBits;
+       key < (full_hi >> vm::PageTable::kChunkBits); ++key)
+    count += p.placement.chunk_count(key, node);
+  scan(full_hi, vend);
   return count;
 }
 
@@ -1047,37 +1080,42 @@ void Kernel::validate(Pid pid) const {
                              what + ")"};
   };
   p.as.for_each([&](const vm::Vma& vma) {
-    for (vm::Vpn vpn = vm::vpn_of(vma.start); vpn < vm::vpn_of(vma.end); ++vpn) {
-      const vm::Pte* pte = p.as.page_table().find(vpn);
-      if (pte == nullptr || !pte->present()) continue;
-      ++referenced;
-      if (!phys_.is_live(pte->frame))
-        throw std::logic_error{"validate: present PTE references a dead frame"};
-      claim(pte->frame, "pte");
-      if (pte->next_touch() && pte->hw_allows(vm::Prot::kRead))
-        throw std::logic_error{"validate: next-touch PTE with live hw read bit"};
-      if (pte->numa_hint() && pte->hw_allows(vm::Prot::kRead))
-        throw std::logic_error{"validate: numa-hint PTE with live hw read bit"};
-      if (pte->numa_hint() && pte->next_touch())
-        throw std::logic_error{"validate: PTE both numa-hint and next-touch"};
-      if ((pte->flags & vm::Pte::kTxn) && pte->hw_allows(vm::Prot::kWrite))
-        throw std::logic_error{"validate: txn-protected PTE with live hw write bit"};
-      const std::uint64_t nrep = p.replicas.replica_count(vpn);
-      if (nrep != 0 && !(pte->flags & vm::Pte::kReplica))
-        throw std::logic_error{"validate: replicas without kReplica flag"};
-      referenced += nrep;
-      for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
-        const mem::FrameId rf = p.replicas.replica_on(vpn, n);
-        if (rf == mem::kInvalidFrame) continue;
-        if (!phys_.is_live(rf))
-          throw std::logic_error{"validate: replica references a dead frame"};
-        if (rf == pte->frame)
-          throw std::logic_error{"validate: replica aliases the home frame"};
-        if (phys_.node_of(rf) != n)
-          throw std::logic_error{"validate: replica on the wrong node"};
-        claim(rf, "replica");
+    auto check_run = [&](vm::ConstPageRun run) {
+      vm::Vpn vpn = run.first;
+      for (const vm::Pte& pte : run.ptes) {
+        const vm::Vpn v = vpn++;
+        if (!pte.present()) continue;
+        ++referenced;
+        if (!phys_.is_live(pte.frame))
+          throw std::logic_error{"validate: present PTE references a dead frame"};
+        claim(pte.frame, "pte");
+        if (pte.next_touch() && pte.hw_allows(vm::Prot::kRead))
+          throw std::logic_error{"validate: next-touch PTE with live hw read bit"};
+        if (pte.numa_hint() && pte.hw_allows(vm::Prot::kRead))
+          throw std::logic_error{"validate: numa-hint PTE with live hw read bit"};
+        if (pte.numa_hint() && pte.next_touch())
+          throw std::logic_error{"validate: PTE both numa-hint and next-touch"};
+        if ((pte.flags & vm::Pte::kTxn) && pte.hw_allows(vm::Prot::kWrite))
+          throw std::logic_error{"validate: txn-protected PTE with live hw write bit"};
+        const std::uint64_t nrep = p.replicas.replica_count(v);
+        if (nrep != 0 && !(pte.flags & vm::Pte::kReplica))
+          throw std::logic_error{"validate: replicas without kReplica flag"};
+        referenced += nrep;
+        for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+          const mem::FrameId rf = p.replicas.replica_on(v, n);
+          if (rf == mem::kInvalidFrame) continue;
+          if (!phys_.is_live(rf))
+            throw std::logic_error{"validate: replica references a dead frame"};
+          if (rf == pte.frame)
+            throw std::logic_error{"validate: replica aliases the home frame"};
+          if (phys_.node_of(rf) != n)
+            throw std::logic_error{"validate: replica on the wrong node"};
+          claim(rf, "replica");
+        }
       }
-    }
+    };
+    p.as.page_table().for_each_run(vm::vpn_of(vma.start), vm::vpn_of(vma.end),
+                                   check_run);
   });
   // Single-process kernels: everything allocated must be referenced — plus
   // any shadow frames held by in-flight transactional migrations, which by
@@ -1088,6 +1126,43 @@ void Kernel::validate(Pid pid) const {
                            std::to_string(referenced) + " referenced + " +
                            std::to_string(shadow) + " shadow vs " +
                            std::to_string(phys_.total_used_frames()) + " used)"};
+  // Placement-count audit: recompute the per-chunk per-node rows from the
+  // page table and compare against the maintained counters. A mismatch means
+  // a map/remap/unmap site forgot to update Process::placement.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> fresh;
+  p.as.for_each([&](const vm::Vma& vma) {
+    p.as.page_table().for_each_run(
+        vm::vpn_of(vma.start), vm::vpn_of(vma.end), [&](vm::ConstPageRun run) {
+          vm::Vpn vpn = run.first;
+          for (const vm::Pte& pte : run.ptes) {
+            const vm::Vpn v = vpn++;
+            if (!pte.present()) continue;
+            std::vector<std::uint32_t>& row =
+                fresh[v >> vm::PageTable::kChunkBits];
+            if (row.empty()) row.assign(topo_.num_nodes(), 0);
+            ++row[phys_.node_of(pte.frame)];
+          }
+        });
+  });
+  auto placement_mismatch = [](std::uint64_t key, topo::NodeId n,
+                               std::uint32_t want, std::uint32_t got) {
+    throw std::logic_error{"validate: placement count drift (chunk " +
+                           std::to_string(key) + " node " + std::to_string(n) +
+                           ": counted " + std::to_string(got) + ", page table " +
+                           "has " + std::to_string(want) + ")"};
+  };
+  for (const auto& [key, row] : fresh)
+    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n)
+      if (p.placement.chunk_count(key, n) != row[n])
+        placement_mismatch(key, n, row[n], p.placement.chunk_count(key, n));
+  p.placement.for_each_row([&](std::uint64_t key,
+                               const std::vector<std::uint32_t>& row) {
+    const auto it = fresh.find(key);
+    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      const std::uint32_t want = it == fresh.end() ? 0u : it->second[n];
+      if (row[n] != want) placement_mismatch(key, n, want, row[n]);
+    }
+  });
   // Per-tier occupancy bookkeeping must agree with the per-node pools.
   phys_.audit_tiers();
 }
@@ -1120,13 +1195,14 @@ std::string Kernel::numa_maps(Pid pid) const {
     }
     std::vector<std::uint64_t> per_node(topo_.num_nodes(), 0);
     std::uint64_t present = 0;
-    for (vm::Vpn vpn = vm::vpn_of(vma.start); vpn < vm::vpn_of(vma.end); ++vpn) {
-      const vm::Pte* pte = p.as.page_table().find(vpn);
-      if (pte != nullptr && pte->present()) {
-        ++present;
-        ++per_node[phys_.node_of(pte->frame)];
-      }
-    }
+    p.as.page_table().for_each_run(
+        vm::vpn_of(vma.start), vm::vpn_of(vma.end), [&](vm::ConstPageRun run) {
+          for (const vm::Pte& pte : run.ptes) {
+            if (!pte.present()) continue;
+            ++present;
+            ++per_node[phys_.node_of(pte.frame)];
+          }
+        });
     os << " anon=" << present;
     for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
       if (per_node[n] != 0) os << " N" << n << "=" << per_node[n];

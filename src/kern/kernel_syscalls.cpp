@@ -43,14 +43,18 @@ SyscallResult Kernel::sys_munmap(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len
   // Free the frames, then drop VMAs + PTEs.
   std::uint64_t present = 0;
   const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
-  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
-    vm::Pte* pte = p.as.page_table().find(vpn);
-    if (pte != nullptr && pte->present()) {
-      for (mem::FrameId f : p.replicas.take(vpn)) phys_.free(f);
-      phys_.free(pte->frame);
+  auto free_run = [&](vm::PageRun run) {
+    vm::Vpn vpn = run.first;
+    for (vm::Pte& pte : run.ptes) {
+      const vm::Vpn v = vpn++;
+      if (!pte.present()) continue;
+      for (mem::FrameId f : p.replicas.take(v)) phys_.free(f);
+      p.placement.dec(v, phys_.node_of(pte.frame));
+      phys_.free(pte.frame);
       ++present;
     }
-  }
+  };
+  p.as.page_table().for_each_run(vm::vpn_of(addr), vend, free_run);
   p.as.unmap(addr, len);
   if (cfg_.lock_model == LockModel::kRange) {
     // One exclusive whole-space hold covers base + teardown + shootdown.
@@ -90,22 +94,27 @@ SyscallResult Kernel::do_mprotect(ThreadCtx& t, vm::Vaddr addr, std::uint64_t le
   std::uint64_t present = 0;
   p.as.for_range(addr, addr + len, [&](vm::Vma& vma) {
     vma.prot = prot;
-    for (vm::Vpn vpn = vm::vpn_of(vma.start); vpn < vm::vpn_of(vma.end); ++vpn) {
-      vm::Pte* pte = p.as.page_table().find(vpn);
-      if (pte == nullptr || !pte->present()) continue;
-      ++present;
-      // An explicit protection change supersedes a pending next-touch or
-      // NUMA-hint mark — and an in-flight transactional migration's write
-      // protection (the migrator sees the cleared kTxn as a dirty hit and
-      // retries or aborts). Granting write on a replicated page forces a
-      // collapse (the per-node copies would otherwise go incoherent).
-      pte->clear(vm::Pte::kNextTouch | vm::Pte::kNumaHint | vm::Pte::kTxn);
-      if ((pte->flags & vm::Pte::kReplica) && prot_allows(prot, vm::Prot::kWrite))
-        collapse_replicas(t, p, *pte, vpn, topo_.node_of_core(t.core));
-      pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
-      if (prot_allows(prot, vm::Prot::kRead)) pte->set(vm::Pte::kHwRead);
-      if (prot_allows(prot, vm::Prot::kWrite)) pte->set(vm::Pte::kHwWrite);
-    }
+    auto rewrite_run = [&](vm::PageRun run) {
+      vm::Vpn vpn = run.first;
+      for (vm::Pte& pte : run.ptes) {
+        const vm::Vpn v = vpn++;
+        if (!pte.present()) continue;
+        ++present;
+        // An explicit protection change supersedes a pending next-touch or
+        // NUMA-hint mark — and an in-flight transactional migration's write
+        // protection (the migrator sees the cleared kTxn as a dirty hit and
+        // retries or aborts). Granting write on a replicated page forces a
+        // collapse (the per-node copies would otherwise go incoherent).
+        pte.clear(vm::Pte::kNextTouch | vm::Pte::kNumaHint | vm::Pte::kTxn);
+        if ((pte.flags & vm::Pte::kReplica) && prot_allows(prot, vm::Prot::kWrite))
+          collapse_replicas(t, p, pte, v, topo_.node_of_core(t.core));
+        pte.clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
+        if (prot_allows(prot, vm::Prot::kRead)) pte.set(vm::Pte::kHwRead);
+        if (prot_allows(prot, vm::Prot::kWrite)) pte.set(vm::Pte::kHwWrite);
+      }
+    };
+    p.as.page_table().for_each_run(vm::vpn_of(vma.start), vm::vpn_of(vma.end),
+                                   rewrite_run);
   });
 
   const sim::Time work = cost_.mprotect_base + cost_.mprotect_page * present +
@@ -151,15 +160,19 @@ SyscallResult Kernel::do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len
       // Drop the pages: the next touch zero-fill-allocates afresh.
       std::uint64_t dropped = 0;
       const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
-      for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
-        vm::Pte* pte = p.as.page_table().find(vpn);
-        if (pte != nullptr && pte->present()) {
-          for (mem::FrameId f : p.replicas.take(vpn)) phys_.free(f);
-          phys_.free(pte->frame);
-          *pte = vm::Pte{};
+      auto drop_run = [&](vm::PageRun run) {
+        vm::Vpn vpn = run.first;
+        for (vm::Pte& pte : run.ptes) {
+          const vm::Vpn v = vpn++;
+          if (!pte.present()) continue;
+          for (mem::FrameId f : p.replicas.take(v)) phys_.free(f);
+          p.placement.dec(v, phys_.node_of(pte.frame));
+          phys_.free(pte.frame);
+          pte = vm::Pte{};
           ++dropped;
         }
-      }
+      };
+      p.as.page_table().for_each_run(vm::vpn_of(addr), vend, drop_run);
       const sim::Time work = cost_.madvise_base + cost_.page_free * dropped +
                              shootdown_cost(t);
       charge(t, work, sim::CostKind::kMadvise);
@@ -175,14 +188,15 @@ SyscallResult Kernel::do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len
       // node lazily through the access path.
       std::uint64_t marked = 0;
       const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
-      for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
-        vm::Pte* pte = p.as.page_table().find(vpn);
-        if (pte != nullptr && pte->present()) {
-          pte->clear(vm::Pte::kHwWrite | vm::Pte::kNextTouch | vm::Pte::kNumaHint);
-          pte->set(vm::Pte::kReplica);
+      auto arm_run = [&](vm::PageRun run) {
+        for (vm::Pte& pte : run.ptes) {
+          if (!pte.present()) continue;
+          pte.clear(vm::Pte::kHwWrite | vm::Pte::kNextTouch | vm::Pte::kNumaHint);
+          pte.set(vm::Pte::kReplica);
           ++marked;
         }
-      }
+      };
+      p.as.page_table().for_each_run(vm::vpn_of(addr), vend, arm_run);
       const sim::Time work = cost_.madvise_base + cost_.madvise_page_mark * marked +
                              shootdown_cost(t);
       charge(t, work, sim::CostKind::kMadvise);
@@ -200,17 +214,20 @@ SyscallResult Kernel::do_madvise(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len
       // the next access from anywhere faults.
       std::uint64_t marked = 0;
       const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
-      for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
-        vm::Pte* pte = p.as.page_table().find(vpn);
-        if (pte != nullptr && pte->present()) {
+      auto mark_run = [&](vm::PageRun run) {
+        vm::Vpn vpn = run.first;
+        for (vm::Pte& pte : run.ptes) {
+          const vm::Vpn v = vpn++;
+          if (!pte.present()) continue;
           // Replicated pages collapse before they can migrate as a unit.
-          if (pte->flags & vm::Pte::kReplica)
-            collapse_replicas(t, p, *pte, vpn, topo_.node_of_core(t.core));
-          pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite | vm::Pte::kNumaHint);
-          pte->set(vm::Pte::kNextTouch);
+          if (pte.flags & vm::Pte::kReplica)
+            collapse_replicas(t, p, pte, v, topo_.node_of_core(t.core));
+          pte.clear(vm::Pte::kHwRead | vm::Pte::kHwWrite | vm::Pte::kNumaHint);
+          pte.set(vm::Pte::kNextTouch);
           ++marked;
         }
-      }
+      };
+      p.as.page_table().for_each_run(vm::vpn_of(addr), vend, mark_run);
       trace(t, EventType::kNextTouchMark, vm::vpn_of(addr), marked);
       const sim::Time work = cost_.madvise_base + cost_.madvise_page_mark * marked +
                              shootdown_cost(t);
@@ -261,22 +278,27 @@ SyscallResult Kernel::do_mbind(ThreadCtx& t, vm::Vaddr addr, std::uint64_t len,
   CopyBatch copies;
   std::uint64_t moved = 0;
   const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
-  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
-    vm::Pte* pte = p.as.page_table().find(vpn);
-    if (pte == nullptr || !pte->present() || (pte->flags & vm::Pte::kHuge))
-      continue;
-    const vm::Vma* vma = p.as.find(vm::addr_of(vpn));
-    const topo::NodeId want = policy.target_node(
-        vma->pgoff(vpn), phys_.node_of(pte->frame), topo_.num_nodes());
-    if (want == topo::kInvalidNode || want == phys_.node_of(pte->frame)) continue;
-    if (migrate_page(t, p, *pte, vpn, want, cost_.move_pages_range_page_control,
-                     sim::CostKind::kMovePagesControl,
-                     sim::CostKind::kMovePagesCopy,
-                     &copies) == MigrateResult::kOk) {
-      ++moved;
-      ++kstats_.pages_migrated_move;
+  const vm::Vma* vma = nullptr;  // cached across the walk
+  auto move_run = [&](vm::PageRun run) {
+    vm::Vpn vpn = run.first;
+    for (vm::Pte& pte : run.ptes) {
+      const vm::Vpn v = vpn++;
+      if (!pte.present() || (pte.flags & vm::Pte::kHuge)) continue;
+      if (vma == nullptr || !vma->contains(vm::addr_of(v)))
+        vma = p.as.find(vm::addr_of(v));
+      const topo::NodeId want = policy.target_node(
+          vma->pgoff(v), phys_.node_of(pte.frame), topo_.num_nodes());
+      if (want == topo::kInvalidNode || want == phys_.node_of(pte.frame)) continue;
+      if (migrate_page(t, p, pte, v, want, cost_.move_pages_range_page_control,
+                       sim::CostKind::kMovePagesControl,
+                       sim::CostKind::kMovePagesCopy,
+                       &copies) == MigrateResult::kOk) {
+        ++moved;
+        ++kstats_.pages_migrated_move;
+      }
     }
-  }
+  };
+  p.as.page_table().for_each_run(vm::vpn_of(addr), vend, move_run);
   flush_copy_batch(t, copies, sim::CostKind::kMovePagesCopy);
   if (cfg_.lock_model == LockModel::kRange) {
     serialize_migration_ranged(t, p, addr, addr + len, entry, moved,
@@ -352,6 +374,7 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
 
   struct Move {
     std::size_t i;
+    vm::Pte* pte;  // resolved once; entries are chunk-stable for the table's life
     topo::NodeId from;
     topo::NodeId to;
     mem::FrameId nf = mem::kInvalidFrame;  // destination frame (post-alloc)
@@ -366,11 +389,12 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
   vm::Vaddr span_lo = ~vm::Vaddr{0};  // chunk page-span for range locking
   vm::Vaddr span_hi = 0;
 
+  const vm::Vma* vma = nullptr;  // cached: chunks rarely cross a mapping
   for (std::size_t i = 0; i < chunk.size(); ++i) {
     unlocked_total += query_only ? cost_.pte_update : unlocked;
     span_lo = std::min(span_lo, vm::page_align_down(chunk[i]));
     span_hi = std::max(span_hi, vm::page_align_down(chunk[i]) + mem::kPageSize);
-    const vm::Vma* vma = p.as.find(chunk[i]);
+    if (vma == nullptr || !vma->contains(chunk[i])) vma = p.as.find(chunk[i]);
     vm::Pte* pte = p.as.page_table().find(vm::vpn_of(chunk[i]));
     if (vma == nullptr || pte == nullptr || !pte->present()) {
       status[i] = -kEFAULT;  // Linux: -ENOENT for absent pages; -EFAULT unmapped
@@ -394,7 +418,7 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
       status[i] = static_cast<int>(to);
       continue;
     }
-    moves.push_back({i, from, to});
+    moves.push_back({i, pte, from, to});
     locked_total += cost_.move_pages_page_locked;
   }
 
@@ -425,8 +449,7 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
     // batch failure.
     for (const Move& m : moves) {
       const vm::Vpn vpn = vm::vpn_of(chunk[m.i]);
-      vm::Pte* pte = p.as.page_table().find(vpn);
-      assert(pte != nullptr);
+      vm::Pte* pte = m.pte;
       switch (migrate_page(t, p, *pte, vpn, m.to, 0,
                            sim::CostKind::kMovePagesControl,
                            sim::CostKind::kMovePagesCopy, nullptr)) {
@@ -496,8 +519,7 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
 
   for (const Move& m : moves) {
     if (m.nf == mem::kInvalidFrame) continue;  // degraded to -ENOMEM above
-    vm::Pte* pte = p.as.page_table().find(vm::vpn_of(chunk[m.i]));
-    assert(pte != nullptr);
+    vm::Pte* pte = m.pte;
     for (unsigned r = 0; r < m.copy_retries; ++r) {
       charge(t, cost_.copy_backoff(r), sim::CostKind::kMovePagesControl);
       ++kstats_.migration_retries;
@@ -517,8 +539,10 @@ void Kernel::move_pages_chunk(ThreadCtx& t, std::span<const vm::Vaddr> chunk,
       if (const std::byte* src = phys_.data(pte->frame))
         std::copy_n(src, mem::kPageSize, dst);
     }
+    const topo::NodeId pfrom = phys_.node_of(pte->frame);
     phys_.free(pte->frame);
     pte->frame = m.nf;
+    p.placement.move(vm::vpn_of(chunk[m.i]), pfrom, phys_.node_of(m.nf));
     pte->clear(vm::Pte::kNextTouch);
     status[m.i] = static_cast<int>(phys_.node_of(m.nf));
     ++kstats_.pages_migrated_move;
@@ -608,21 +632,24 @@ SyscallResult Kernel::do_move_pages_ranged(ThreadCtx& t,
     CopyBatch copies;
     std::uint64_t batch_moved = 0;
     const vm::Vpn vend = vm::vpn_of(vm::page_align_up(r.addr + r.len));
-    for (vm::Vpn vpn = vm::vpn_of(r.addr); vpn < vend; ++vpn) {
-      vm::Pte* pte = p.as.page_table().find(vpn);
-      if (pte == nullptr || !pte->present() || (pte->flags & vm::Pte::kHuge))
-        continue;
-      charge(t, cost_.move_pages_range_page_control,
-             sim::CostKind::kMovePagesControl);
-      if (phys_.node_of(pte->frame) == r.node) continue;
-      if (migrate_page(t, p, *pte, vpn, r.node, 0,
-                       sim::CostKind::kMovePagesControl,
-                       sim::CostKind::kMovePagesCopy,
-                       &copies) == MigrateResult::kOk) {
-        ++batch_moved;
-        ++kstats_.pages_migrated_move;
+    auto range_run = [&](vm::PageRun run) {
+      vm::Vpn vpn = run.first;
+      for (vm::Pte& pte : run.ptes) {
+        const vm::Vpn v = vpn++;
+        if (!pte.present() || (pte.flags & vm::Pte::kHuge)) continue;
+        charge(t, cost_.move_pages_range_page_control,
+               sim::CostKind::kMovePagesControl);
+        if (phys_.node_of(pte.frame) == r.node) continue;
+        if (migrate_page(t, p, pte, v, r.node, 0,
+                         sim::CostKind::kMovePagesControl,
+                         sim::CostKind::kMovePagesCopy,
+                         &copies) == MigrateResult::kOk) {
+          ++batch_moved;
+          ++kstats_.pages_migrated_move;
+        }
       }
-    }
+    };
+    p.as.page_table().for_each_run(vm::vpn_of(r.addr), vend, range_run);
     flush_copy_batch(t, copies, sim::CostKind::kMovePagesCopy);
     if (cfg_.lock_model == LockModel::kRange) {
       serialize_migration_ranged(t, p, r.addr, r.addr + r.len, entry,
@@ -674,7 +701,12 @@ SyscallResult Kernel::do_migrate_pages(ThreadCtx& t, Pid target,
   }
 
   long migrated = 0;
-  std::vector<std::pair<vm::Vpn, topo::NodeId>> batch;  // vpn -> dest
+  struct Pending {
+    vm::Vpn vpn;
+    vm::Pte* pte;  // resolved by the traversal; entries are chunk-stable
+    topo::NodeId dest;
+  };
+  std::vector<Pending> batch;
   auto flush_batch = [&] {
     if (batch.empty()) return;
     const sim::Time entry = t.clock;
@@ -686,6 +718,7 @@ SyscallResult Kernel::do_migrate_pages(ThreadCtx& t, Pid target,
     // where they are (they are not counted as migrated).
     struct Item {
       vm::Vpn vpn;
+      vm::Pte* pte;
       topo::NodeId from;
       topo::NodeId dest;
       mem::FrameId nf;
@@ -694,12 +727,12 @@ SyscallResult Kernel::do_migrate_pages(ThreadCtx& t, Pid target,
     };
     std::vector<Item> items;
     items.reserve(batch.size());
-    for (auto [vpn, dest] : batch) {
-      Item it{vpn, phys_.node_of(p.as.page_table().find(vpn)->frame), dest,
-              alloc_migration_frame(dest)};
+    for (const Pending& b : batch) {
+      Item it{b.vpn, b.pte, phys_.node_of(b.pte->frame), b.dest,
+              alloc_migration_frame(b.dest)};
       if (it.nf == mem::kInvalidFrame) {
         ++kstats_.migrations_failed;
-        trace(t, EventType::kMigrateFail, vpn, 1, it.from, dest);
+        trace(t, EventType::kMigrateFail, b.vpn, 1, it.from, b.dest);
       } else {
         const CopyOutcome oc = copy_outcome();
         it.copy_retries = oc.retries;
@@ -740,19 +773,21 @@ SyscallResult Kernel::do_migrate_pages(ThreadCtx& t, Pid target,
         trace(t, EventType::kMigrateFail, it.vpn, 1, it.from, it.dest);
         continue;
       }
-      vm::Pte* pte = p.as.page_table().find(it.vpn);
+      vm::Pte* pte = it.pte;
       if (std::byte* dst = phys_.data(it.nf)) {
         if (const std::byte* src = phys_.data(pte->frame))
           std::copy_n(src, mem::kPageSize, dst);
       }
+      const topo::NodeId pfrom = phys_.node_of(pte->frame);
       phys_.free(pte->frame);
       pte->frame = it.nf;
+      p.placement.move(it.vpn, pfrom, phys_.node_of(it.nf));
       ++migrated;
       ++kstats_.pages_migrated_process;
     }
     if (cfg_.lock_model == LockModel::kRange) {
-      serialize_migration_ranged(t, p, vm::addr_of(batch.front().first),
-                                 vm::addr_of(batch.back().first) + mem::kPageSize,
+      serialize_migration_ranged(t, p, vm::addr_of(batch.front().vpn),
+                                 vm::addr_of(batch.back().vpn) + mem::kPageSize,
                                  entry, batch.size(), cost_.range_serial_per_page);
     } else {
       serialize_migration(t, p, entry, batch.size(),
@@ -763,25 +798,42 @@ SyscallResult Kernel::do_migrate_pages(ThreadCtx& t, Pid target,
 
   // In-order traversal of the whole address space (hence the higher base
   // cost but better locality / throughput than move_pages — Sec. 4.2).
+  // Run-batched: present pages are visited span-by-span; pages without an
+  // established chunk cannot be present, so whole absent chunks are charged
+  // in bulk (each missing page still costs one PTE lookup). Bulk charging is
+  // exact because charge() is linear accumulation and the only flush points
+  // (batch full) occur at present pages.
   std::vector<std::pair<vm::Vpn, vm::Vpn>> ranges;
   p.as.for_each([&](const vm::Vma& vma) {
     ranges.emplace_back(vm::vpn_of(vma.start), vm::vpn_of(vma.end));
   });
   for (auto [vbegin, vend] : ranges) {
-    for (vm::Vpn vpn = vbegin; vpn < vend; ++vpn) {
-      vm::Pte* pte = p.as.page_table().find(vpn);
-      if (pte == nullptr || !pte->present()) {
-        charge(t, cost_.pte_update, sim::CostKind::kMigratePagesControl);
-        continue;
+    vm::Vpn next = vbegin;  // first VPN not yet charged
+    auto proc_run = [&](vm::PageRun run) {
+      if (run.first > next)
+        charge(t, cost_.pte_update * (run.first - next),
+               sim::CostKind::kMigratePagesControl);
+      vm::Vpn vpn = run.first;
+      for (vm::Pte& pte : run.ptes) {
+        const vm::Vpn v = vpn++;
+        if (!pte.present()) {
+          charge(t, cost_.pte_update, sim::CostKind::kMigratePagesControl);
+          continue;
+        }
+        charge(t, cost_.migrate_pages_page_control - cost_.migrate_pages_page_locked,
+               sim::CostKind::kMigratePagesControl);
+        if (pte.flags & vm::Pte::kHuge) continue;
+        const topo::NodeId n = phys_.node_of(pte.frame);
+        if (dest_of[n] == topo::kInvalidNode || dest_of[n] == n) continue;
+        batch.push_back({v, &pte, dest_of[n]});
+        if (batch.size() >= kSyscallBatchPages) flush_batch();
       }
-      charge(t, cost_.migrate_pages_page_control - cost_.migrate_pages_page_locked,
+      next = vpn;
+    };
+    p.as.page_table().for_each_run(vbegin, vend, proc_run);
+    if (next < vend)
+      charge(t, cost_.pte_update * (vend - next),
              sim::CostKind::kMigratePagesControl);
-      if (pte->flags & vm::Pte::kHuge) continue;
-      const topo::NodeId n = phys_.node_of(pte->frame);
-      if (dest_of[n] == topo::kInvalidNode || dest_of[n] == n) continue;
-      batch.push_back({vpn, dest_of[n]});
-      if (batch.size() >= kSyscallBatchPages) flush_batch();
-    }
   }
   flush_batch();
   trace(t, EventType::kMigrateProcess, 0, static_cast<std::uint64_t>(migrated));

@@ -76,84 +76,97 @@ std::uint64_t Kernel::submit_kmigrated_batch(ThreadCtx& t, Process& p,
   dt.core = t.core;
   dt.clock = start + cost_.kmigrated_batch_base;
   const vm::Vpn vend = vm::vpn_of(vm::page_align_up(addr + len));
-  for (vm::Vpn vpn = vm::vpn_of(addr); vpn < vend; ++vpn) {
-    vm::Pte* pte = p.as.page_table().find(vpn);
-    if (pte == nullptr || !pte->present() || (pte->flags & vm::Pte::kHuge))
-      continue;
-    const bool was_nt = pte->next_touch();
-    const topo::NodeId from = phys_.node_of(pte->frame);
-    if (from != node && txn) {
-      if (do_migrate_page_txn(dt, p, vpn, node,
-                              sim::CostKind::kMovePagesControl,
-                              sim::CostKind::kMovePagesCopy) ==
-          TxnResult::kCommitted) {
-        ++moved;
-        ++kstats_.kmigrated_pages;
-      } else {
-        ++kstats_.txn_degraded;
-        trace(dt, EventType::kTxnDegraded, vpn, 1, from, node);
-        if (defer_on_degrade) continue;  // left in place for a later pass
-        switch (do_migrate_page(dt, p, *pte, vpn, node,
-                                cost_.move_pages_range_page_control,
+  // Run-batched walk: one chunk lookup per 512 pages; pages without an
+  // established chunk cannot be present and are skipped wholesale. The VMA
+  // of resolved next-touch pages is cached across iterations — a batch
+  // rarely crosses a mapping.
+  const vm::Vma* nt_vma = nullptr;
+  auto batch_run = [&](vm::PageRun run) {
+    vm::Vpn vpn = run.first - 1;
+    for (vm::Pte& run_pte : run.ptes) {
+      ++vpn;
+      vm::Pte* pte = &run_pte;
+      if (!pte->present() || (pte->flags & vm::Pte::kHuge))
+        continue;
+      const bool was_nt = pte->next_touch();
+      const topo::NodeId from = phys_.node_of(pte->frame);
+      if (from != node && txn) {
+        if (do_migrate_page_txn(dt, p, vpn, node,
                                 sim::CostKind::kMovePagesControl,
-                                sim::CostKind::kMovePagesCopy, nullptr)) {
-          case MigrateResult::kOk:
-            ++moved;
-            ++kstats_.kmigrated_pages;
-            break;
-          case MigrateResult::kNoMem:
-          case MigrateResult::kCopyFail:
-            // do_migrate_page already counted migrations_failed + traced.
-            ++kstats_.kmigrated_pages_failed;
-            break;
+                                sim::CostKind::kMovePagesCopy) ==
+            TxnResult::kCommitted) {
+          ++moved;
+          ++kstats_.kmigrated_pages;
+        } else {
+          ++kstats_.txn_degraded;
+          trace(dt, EventType::kTxnDegraded, vpn, 1, from, node);
+          if (defer_on_degrade) continue;  // left in place for a later pass
+          switch (do_migrate_page(dt, p, *pte, vpn, node,
+                                  cost_.move_pages_range_page_control,
+                                  sim::CostKind::kMovePagesControl,
+                                  sim::CostKind::kMovePagesCopy, nullptr)) {
+            case MigrateResult::kOk:
+              ++moved;
+              ++kstats_.kmigrated_pages;
+              break;
+            case MigrateResult::kNoMem:
+            case MigrateResult::kCopyFail:
+              // do_migrate_page already counted migrations_failed + traced.
+              ++kstats_.kmigrated_pages_failed;
+              break;
+          }
+        }
+      } else if (from != node) {
+        mem::FrameId nf = alloc_migration_frame(node);
+        if (nf == mem::kInvalidFrame && cfg_.tiers.enabled && cfg_.tiers.demotion) {
+          // Direct demotion (tiering): the daemon evicts pages of the full
+          // destination node down-tier and retries once, so an up-tier batch
+          // degrades to per-page ENOMEM only when every lower tier is full
+          // too. Demotion work bills the daemon (dt / service), never the
+          // submitter.
+          if (tier_demote(dt, p, node, cfg_.tiers.demote_batch_pages,
+                          /*require_idle=*/false,
+                          sim::CostKind::kMovePagesControl) > 0) {
+            service += cost_.demote_direct_stall;
+            nf = alloc_migration_frame(node);
+          }
+        }
+        if (nf == mem::kInvalidFrame) {
+          // Per-page ENOMEM degrades just this page; the original mapping is
+          // untouched, so there is nothing to roll back.
+          ++kstats_.kmigrated_pages_failed;
+          ++kstats_.migrations_failed;
+          trace(t, EventType::kMigrateFail, vpn, 1, from, node);
+        } else {
+          service += cost_.move_pages_range_page_control;
+          const sim::Slot c = hw_.copy(copy_cursor, from, node, mem::kPageSize,
+                                       cost_.kernel_copy_bytes_per_us);
+          copy_cursor = c.finish;
+          if (std::byte* dst = phys_.data(nf)) {
+            if (const std::byte* src = phys_.data(pte->frame))
+              std::memcpy(dst, src, mem::kPageSize);
+          }
+          phys_.free(pte->frame);
+          pte->frame = nf;
+          p.placement.move(vpn, from, phys_.node_of(nf));
+          ++moved;
+          ++kstats_.kmigrated_pages;
         }
       }
-    } else if (from != node) {
-      mem::FrameId nf = alloc_migration_frame(node);
-      if (nf == mem::kInvalidFrame && cfg_.tiers.enabled && cfg_.tiers.demotion) {
-        // Direct demotion (tiering): the daemon evicts pages of the full
-        // destination node down-tier and retries once, so an up-tier batch
-        // degrades to per-page ENOMEM only when every lower tier is full
-        // too. Demotion work bills the daemon (dt / service), never the
-        // submitter.
-        if (tier_demote(dt, p, node, cfg_.tiers.demote_batch_pages,
-                        /*require_idle=*/false,
-                        sim::CostKind::kMovePagesControl) > 0) {
-          service += cost_.demote_direct_stall;
-          nf = alloc_migration_frame(node);
+      if (was_nt) {
+        // The daemon resolves the pending next-touch mark so the eventual
+        // touch is an ordinary access, not a fault.
+        if (nt_vma == nullptr || !nt_vma->contains(vm::addr_of(vpn)))
+          nt_vma = p.as.find(vm::addr_of(vpn));
+        if (nt_vma != nullptr) {
+          pte->clear(vm::Pte::kNextTouch);
+          pte->set(vm::Pte::kAccessed);
+          pte->restore_hw(nt_vma->prot);
         }
-      }
-      if (nf == mem::kInvalidFrame) {
-        // Per-page ENOMEM degrades just this page; the original mapping is
-        // untouched, so there is nothing to roll back.
-        ++kstats_.kmigrated_pages_failed;
-        ++kstats_.migrations_failed;
-        trace(t, EventType::kMigrateFail, vpn, 1, from, node);
-      } else {
-        service += cost_.move_pages_range_page_control;
-        const sim::Slot c = hw_.copy(copy_cursor, from, node, mem::kPageSize,
-                                     cost_.kernel_copy_bytes_per_us);
-        copy_cursor = c.finish;
-        if (std::byte* dst = phys_.data(nf)) {
-          if (const std::byte* src = phys_.data(pte->frame))
-            std::memcpy(dst, src, mem::kPageSize);
-        }
-        phys_.free(pte->frame);
-        pte->frame = nf;
-        ++moved;
-        ++kstats_.kmigrated_pages;
       }
     }
-    if (was_nt) {
-      // The daemon resolves the pending next-touch mark so the eventual
-      // touch is an ordinary access, not a fault.
-      if (const vm::Vma* vma = p.as.find(vm::addr_of(vpn)); vma != nullptr) {
-        pte->clear(vm::Pte::kNextTouch);
-        pte->set(vm::Pte::kAccessed);
-        pte->restore_hw(vma->prot);
-      }
-    }
-  }
+  };
+  p.as.page_table().for_each_run(vm::vpn_of(addr), vend, batch_run);
   if (moved > 0) {
     // One coalesced shootdown round for the whole batch. (Each transactional
     // commit only flushed locally; the remote round lands here.)
@@ -203,12 +216,17 @@ void Kernel::nt_migrate_ahead(ThreadCtx& t, Process& p, const vm::Vma& vma,
   // clipped to the VMA and the configured window.
   const vm::Vpn vma_end = vm::vpn_of(vma.end);
   const vm::Vpn first = fault_vpn + 1;
+  const vm::Vpn limit = std::min(vma_end, first + cfg_.nt_async_window);
   vm::Vpn last = first;
-  while (last < vma_end && last - first < cfg_.nt_async_window) {
-    const vm::Pte* pte = p.as.page_table().find(last);
-    if (pte == nullptr || !pte->present() || !pte->next_touch()) break;
-    ++last;
-  }
+  auto window_run = [&](vm::ConstPageRun run) {
+    if (run.first != last) return false;  // absent chunk: the run ends here
+    for (const vm::Pte& pte : run.ptes) {
+      if (!pte.present() || !pte.next_touch()) return false;
+      ++last;
+    }
+    return true;
+  };
+  p.as.page_table().for_each_run(first, limit, window_run);
   if (last == first) return;
   charge(t, cost_.kmigrated_submit, sim::CostKind::kNextTouchControl);
   submit_kmigrated_batch(t, p, vm::addr_of(first),

@@ -97,28 +97,45 @@ void Kernel::numab_scan(ThreadCtx& t, Process& p) {
       if (k > 0) pos = s.start;
       vm::Vpn vpn = vm::vpn_of(std::max(pos, s.start));
       const vm::Vpn vend = vm::vpn_of(s.end);
-      for (; vpn < vend && marked < nb.scan_size_pages; ++vpn) {
-        vm::Pte* pte = p.as.page_table().find(vpn);
-        if (pte == nullptr || !pte->present()) continue;
-        // kTxn pages are mid-transaction: marking them would invalidate the
-        // migrator's hw-bit snapshot, so the scanner leaves them alone.
-        if (pte->flags & (vm::Pte::kHuge | vm::Pte::kReplica |
-                          vm::Pte::kNextTouch | vm::Pte::kNumaHint |
-                          vm::Pte::kTxn)) {
-          // A page still carrying kNumaHint from an earlier window was never
-          // touched since: one more window of cold-page evidence for the
-          // tier demotion pass.
-          if (cfg_.tiers.enabled && pte->numa_hint() &&
-              !(pte->flags & (vm::Pte::kHuge | vm::Pte::kReplica |
-                              vm::Pte::kNextTouch | vm::Pte::kTxn)) &&
-              pte->numa_idle < 255)
-            ++pte->numa_idle;
-          continue;
+      // Run-batched window walk: one chunk lookup per 512 pages; pages with
+      // no established chunk cannot be present, so skipping whole absent
+      // chunks matches the per-page semantics. When the window fills, the
+      // cursor rests one past the last page tagged, exactly where the
+      // per-page loop used to halt.
+      bool full = false;
+      auto scan_run = [&](vm::PageRun run) {
+        vm::Vpn v = run.first;
+        for (vm::Pte& pte : run.ptes) {
+          ++v;
+          if (!pte.present()) continue;
+          // kTxn pages are mid-transaction: marking them would invalidate
+          // the migrator's hw-bit snapshot, so the scanner leaves them
+          // alone.
+          if (pte.flags & (vm::Pte::kHuge | vm::Pte::kReplica |
+                           vm::Pte::kNextTouch | vm::Pte::kNumaHint |
+                           vm::Pte::kTxn)) {
+            // A page still carrying kNumaHint from an earlier window was
+            // never touched since: one more window of cold-page evidence
+            // for the tier demotion pass.
+            if (cfg_.tiers.enabled && pte.numa_hint() &&
+                !(pte.flags & (vm::Pte::kHuge | vm::Pte::kReplica |
+                               vm::Pte::kNextTouch | vm::Pte::kTxn)) &&
+                pte.numa_idle < 255)
+              ++pte.numa_idle;
+            continue;
+          }
+          pte.clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
+          pte.set(vm::Pte::kNumaHint);
+          if (++marked >= nb.scan_size_pages) {
+            vpn = v;
+            full = true;
+            return false;
+          }
         }
-        pte->clear(vm::Pte::kHwRead | vm::Pte::kHwWrite);
-        pte->set(vm::Pte::kNumaHint);
-        ++marked;
-      }
+        return true;
+      };
+      p.as.page_table().for_each_run(vpn, vend, scan_run);
+      if (!full) vpn = vend;
       pos = vm::addr_of(vpn);
     }
     p.numab.scan_cursor = pos;
@@ -146,7 +163,8 @@ void Kernel::numab_hint_fault(ThreadCtx& t, Process& p, const vm::Vma& vma,
 
   // task_numa_fault: account the access against the node *holding* the page
   // (numa_faults_memory), decayed so stale phases fade.
-  NumabTaskStats& ts = p.numab.tasks[t.tid];
+  if (t.numab_ts == nullptr) t.numab_ts = &p.numab.tasks[t.tid];
+  NumabTaskStats& ts = *t.numab_ts;
   if (ts.faults.size() != topo_.num_nodes()) {
     ts.faults.assign(topo_.num_nodes(), 0.0);
     ts.decayed_to = t.clock;

@@ -93,19 +93,25 @@ std::uint64_t Kernel::tier_demote(ThreadCtx& t, Process& p, topo::NodeId node,
   std::vector<vm::Vpn> victims;
   p.as.for_each([&](const vm::Vma& vma) {
     if (vma.huge || victims.size() >= want_pages) return;
-    for (vm::Vpn vpn = vm::vpn_of(vma.start); vpn < vm::vpn_of(vma.end); ++vpn) {
-      if (victims.size() >= want_pages) break;
-      const vm::Pte* pte = p.as.page_table().find(vpn);
-      if (pte == nullptr || !pte->present()) continue;
-      if (pte->flags & (vm::Pte::kHuge | vm::Pte::kReplica | vm::Pte::kTxn |
-                        vm::Pte::kNextTouch))
-        continue;
-      if (phys_.node_of(pte->frame) != node) continue;
-      if (require_idle && !(pte->numa_hint() &&
-                            pte->numa_idle >= cfg_.tiers.demote_after_windows))
-        continue;
-      victims.push_back(vpn);
-    }
+    auto victim_run = [&](vm::ConstPageRun run) {
+      vm::Vpn vpn = run.first;
+      for (const vm::Pte& pte : run.ptes) {
+        const vm::Vpn v = vpn++;
+        if (!pte.present()) continue;
+        if (pte.flags & (vm::Pte::kHuge | vm::Pte::kReplica | vm::Pte::kTxn |
+                         vm::Pte::kNextTouch))
+          continue;
+        if (phys_.node_of(pte.frame) != node) continue;
+        if (require_idle && !(pte.numa_hint() &&
+                              pte.numa_idle >= cfg_.tiers.demote_after_windows))
+          continue;
+        victims.push_back(v);
+        if (victims.size() >= want_pages) return false;
+      }
+      return true;
+    };
+    p.as.page_table().for_each_run(vm::vpn_of(vma.start), vm::vpn_of(vma.end),
+                                   victim_run);
   });
   if (victims.empty()) return 0;
   charge(t, cost_.demote_scan_page * victims.size(), kind);
@@ -129,13 +135,14 @@ std::uint64_t Kernel::tier_demote(ThreadCtx& t, Process& p, topo::NodeId node,
     // Hysteresis: a freshly demoted page must re-earn its promotion with two
     // hint faults from the same node, so one stray touch inside the next
     // scan window cannot bounce it straight back up.
-    for (vm::Vpn v = first; v < first + npages; ++v) {
-      vm::Pte* pte = p.as.page_table().find(v);
-      if (pte == nullptr || !pte->present()) continue;
-      if (phys_.node_of(pte->frame) != target) continue;
-      pte->numa_last = vm::Pte::kNoNumaNode;
-      pte->numa_idle = 0;
-    }
+    auto reset_run = [&](vm::PageRun run) {
+      for (vm::Pte& pte : run.ptes) {
+        if (!pte.present() || phys_.node_of(pte.frame) != target) continue;
+        pte.numa_last = vm::Pte::kNoNumaNode;
+        pte.numa_idle = 0;
+      }
+    };
+    p.as.page_table().for_each_run(first, first + npages, reset_run);
     i = j;
   }
   kstats_.tier_demotions += demoted;

@@ -27,14 +27,16 @@ TxnMigrator::TxnMigrator(Kernel& k, std::uint32_t pid, vm::Vpn vpn,
       copy_kind_(copy_kind) {}
 
 vm::Pte* TxnMigrator::find_pte() {
-  // Re-looked-up at every step: a racing fault may have grown the page
-  // table (chunked storage) or a munmap may have dropped the entry.
-  return k_.proc(pid_).as.page_table().find(vpn_);
+  // Resolved once: chunk storage is arena-backed and never freed, so the
+  // pointer stays valid for the table's lifetime. A racing fault only grows
+  // other chunks; a munmap zeroes the entry in place (seen as !present by
+  // the per-step validity checks).
+  if (pte_ == nullptr) pte_ = k_.proc(pid_).as.page_table().find(vpn_);
+  return pte_;
 }
 
 void TxnMigrator::copy_pass(ThreadCtx& t, vm::Pte& pte, topo::NodeId from) {
   gen_ = pte.write_gen;
-  copy_begin_ = t.clock;
   injected_dirty_ = false;
   const sim::Slot c = k_.hw_.copy(t.clock, from, target_, mem::kPageSize,
                                   k_.cost_.kernel_copy_bytes_per_us);
@@ -60,7 +62,7 @@ bool TxnMigrator::dirty_since_copy(const vm::Pte& pte) const {
   // A write fault mid-transaction clears kTxn (the writer never waits), so
   // a missing flag is as conclusive as a bumped generation.
   return injected_dirty_ || !(pte.flags & vm::Pte::kTxn) ||
-         pte.write_gen != gen_ || pte.last_write > copy_begin_;
+         pte.write_gen != gen_;
 }
 
 void TxnMigrator::do_shadow_copy(ThreadCtx& t) {
@@ -133,6 +135,7 @@ void TxnMigrator::do_commit(ThreadCtx& t) {
   k_.phys_.free(pte->frame);
   k_.phys_.clear_shadow(shadow_);
   pte->frame = shadow_;
+  k_.proc(pid_).placement.move(vpn_, from, k_.phys_.node_of(shadow_));
   shadow_ = mem::kInvalidFrame;
   pte->clear(vm::Pte::kTxn | vm::Pte::kHwRead | vm::Pte::kHwWrite);
   pte->set(hw_bits_);

@@ -4,8 +4,8 @@
 // owning task stalls on the migration critical section. The transactional
 // migrator instead copies the page to a *shadow frame* while the mapping
 // stays fully accessible, then write-protects it, re-verifies that the page
-// stayed clean (the simulated dirty bit: a write-generation stamp plus the
-// last timed write instant), and commits with an atomic PTE flip + local
+// stayed clean (the simulated dirty bit: a write-generation stamp
+// snapshotted at the copy), and commits with an atomic PTE flip + local
 // flush. A page dirtied during the copy window is re-copied under a bounded
 // retry budget with exponential backoff in simulated time; exhausting the
 // budget (or a permanent injected copy fault) releases the shadow frame and
@@ -64,8 +64,9 @@ enum class TxnState : std::uint8_t {
 /// One transactional page migration, exposed step-wise. Construct with the
 /// owning kernel and the page's identity; call step() until state() is
 /// terminal (kCommitted or kDegraded), or run() to drive it in one go. The
-/// PTE is re-looked-up at every step, so a racing thread may fault, write,
-/// or remap the page between steps.
+/// PTE pointer is resolved once and re-validated (present/flag checks) at
+/// every step — chunk storage never moves — so a racing thread may still
+/// fault, write, or unmap the page between steps and be observed.
 class TxnMigrator {
  public:
   TxnMigrator(Kernel& k, std::uint32_t pid, vm::Vpn vpn, topo::NodeId target,
@@ -113,9 +114,9 @@ class TxnMigrator {
   TxnState state_ = TxnState::kShadowCopy;
   mem::FrameId shadow_ = mem::kInvalidFrame;
   unsigned retries_ = 0;
+  vm::Pte* pte_ = nullptr;  ///< resolved once; entries are chunk-stable
   // Dirty-detection snapshot, taken at each copy pass.
   std::uint32_t gen_ = 0;
-  sim::Time copy_begin_ = 0;
   bool injected_dirty_ = false;    ///< injector verdict: transient copy fault
   bool injected_permanent_ = false;
   std::uint16_t hw_bits_ = 0;  ///< hw permission bits to restore on exit

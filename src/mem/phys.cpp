@@ -31,36 +31,6 @@ PhysMem::PhysMem(const topo::Topology& topo, Backing backing,
   }
 }
 
-FrameId PhysMem::take_frame(topo::NodeId node, bool use_reserve) {
-  NodePool& pool = per_node_[node];
-  if (pool.used >= pool.capacity) return kInvalidFrame;
-  const std::uint64_t free = pool.capacity - pool.used;
-  if (free <= pool.wm_min) {
-    // Only reserve-entitled allocations may dip below the min watermark.
-    if (!use_reserve) {
-      ++pool.watermark_blocks;
-      return kInvalidFrame;
-    }
-    ++pool.reserve_allocs;
-  }
-  ++pool.used;
-  ++tier_used_[static_cast<std::size_t>(node_tier_[node])];
-  ++allocs_;
-  FrameId id;
-  if (!pool.free_list.empty()) {
-    id = pool.free_list.back();
-    pool.free_list.pop_back();
-    frames_[id].in_use = true;
-  } else {
-    id = static_cast<FrameId>(frames_.size());
-    frames_.push_back(Frame{node, true, nullptr});
-  }
-  if (backing_ == Backing::kMaterialized && !frames_[id].data) {
-    frames_[id].data = std::make_unique<std::byte[]>(kPageSize);
-  }
-  return id;
-}
-
 FrameId PhysMem::alloc_on(topo::NodeId node, bool use_reserve) {
   assert(node < per_node_.size());
   return take_frame(node, use_reserve);
@@ -107,33 +77,10 @@ void PhysMem::mark_shadow(FrameId f) {
   }
 }
 
-void PhysMem::clear_shadow(FrameId f) {
-  assert(f < frames_.size());
-  if (frames_[f].shadow) {
-    frames_[f].shadow = false;
-    assert(per_node_[frames_[f].node].shadow > 0);
-    --per_node_[frames_[f].node].shadow;
-  }
-}
-
 std::uint64_t PhysMem::total_shadow_frames() const {
   std::uint64_t sum = 0;
   for (const auto& p : per_node_) sum += p.shadow;
   return sum;
-}
-
-void PhysMem::free(FrameId f) {
-  assert(f < frames_.size() && frames_[f].in_use);
-  clear_shadow(f);
-  Frame& frame = frames_[f];
-  frame.in_use = false;
-  NodePool& pool = per_node_[frame.node];
-  assert(pool.used > 0);
-  --pool.used;
-  assert(tier_used_[static_cast<std::size_t>(node_tier_[frame.node])] > 0);
-  --tier_used_[static_cast<std::size_t>(node_tier_[frame.node])];
-  ++frees_;
-  pool.free_list.push_back(f);
 }
 
 std::uint64_t PhysMem::tier_capacity_frames(topo::MemTier t) const {

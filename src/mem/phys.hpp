@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -70,7 +71,10 @@ class PhysMem {
   /// frames already allocated above the new cap stay valid until freed.
   void set_node_capacity(topo::NodeId n, std::uint64_t frames);
 
-  topo::NodeId node_of(FrameId f) const { return frames_[f].node; }
+  /// Home node of frame `f`. Reads a dense side array rather than striding
+  /// the Frame records — this is the single hottest lookup in the simulator
+  /// (every access/walk resolves frame placement per page).
+  topo::NodeId node_of(FrameId f) const { return node_[f]; }
 
   // --- shadow-frame accounting (transactional migration) ---------------------
   /// Mark/unmark `f` as a transactional shadow frame: a second physical copy
@@ -155,6 +159,7 @@ class PhysMem {
   const topo::Topology& topo_;
   Backing backing_;
   std::vector<Frame> frames_;
+  std::vector<topo::NodeId> node_;  // parallel to frames_: home node (fixed)
   std::vector<NodePool> per_node_;
   std::vector<topo::MemTier> node_tier_;             // cached node -> tier
   std::array<std::uint64_t, 3> tier_used_{};         // live frames per tier
@@ -163,5 +168,62 @@ class PhysMem {
   std::uint64_t frees_ = 0;
   std::uint64_t fallbacks_ = 0;
 };
+
+// take_frame / free / clear_shadow are the allocator's per-page hot path
+// (every fault and migration goes through them); defined inline so callers
+// don't pay an out-of-line call for a handful of counter updates.
+inline void PhysMem::clear_shadow(FrameId f) {
+  assert(f < frames_.size());
+  if (frames_[f].shadow) {
+    frames_[f].shadow = false;
+    assert(per_node_[frames_[f].node].shadow > 0);
+    --per_node_[frames_[f].node].shadow;
+  }
+}
+
+inline FrameId PhysMem::take_frame(topo::NodeId node, bool use_reserve) {
+  NodePool& pool = per_node_[node];
+  if (pool.used >= pool.capacity) return kInvalidFrame;
+  const std::uint64_t free = pool.capacity - pool.used;
+  if (free <= pool.wm_min) {
+    // Only reserve-entitled allocations may dip below the min watermark.
+    if (!use_reserve) {
+      ++pool.watermark_blocks;
+      return kInvalidFrame;
+    }
+    ++pool.reserve_allocs;
+  }
+  ++pool.used;
+  ++tier_used_[static_cast<std::size_t>(node_tier_[node])];
+  ++allocs_;
+  FrameId id;
+  if (!pool.free_list.empty()) {
+    id = pool.free_list.back();
+    pool.free_list.pop_back();
+    frames_[id].in_use = true;
+  } else {
+    id = static_cast<FrameId>(frames_.size());
+    frames_.push_back(Frame{node, true, nullptr});
+    node_.push_back(node);
+  }
+  if (backing_ == Backing::kMaterialized && !frames_[id].data) {
+    frames_[id].data = std::make_unique<std::byte[]>(kPageSize);
+  }
+  return id;
+}
+
+inline void PhysMem::free(FrameId f) {
+  assert(f < frames_.size() && frames_[f].in_use);
+  clear_shadow(f);
+  Frame& frame = frames_[f];
+  frame.in_use = false;
+  NodePool& pool = per_node_[frame.node];
+  assert(pool.used > 0);
+  --pool.used;
+  assert(tier_used_[static_cast<std::size_t>(node_tier_[frame.node])] > 0);
+  --tier_used_[static_cast<std::size_t>(node_tier_[frame.node])];
+  ++frees_;
+  pool.free_list.push_back(f);
+}
 
 }  // namespace numasim::mem

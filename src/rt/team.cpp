@@ -15,7 +15,7 @@ struct JoinState {
   std::coroutine_handle<> waiter;
 
   void worker_done() {
-    if (--remaining == 0 && waiter) engine->schedule(engine->now(), waiter);
+    if (--remaining == 0 && waiter) engine->post_now(waiter);
   }
 };
 

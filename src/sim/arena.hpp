@@ -1,0 +1,93 @@
+// Slab allocator for coroutine frames — the simulator's event records.
+//
+// Every sim event is a suspended coroutine, so event allocation *is*
+// coroutine-frame allocation. The default promise operator new hits the
+// global heap once per spawned task/awaiter; fork/join workloads create
+// millions of frames of only a handful of distinct sizes. FramePool keeps
+// size-classed free lists carved from 64 KiB slabs (SICM's extent-array
+// idiom): allocation is a pop, deallocation a push, both O(1), and the
+// slabs themselves are recycled for the lifetime of the thread.
+//
+// Determinism: recycling changes the *addresses* frames land at, never the
+// order events run in — nothing in the simulator orders on pointer values.
+// The pool is thread_local: the sim core is single-threaded by design, and
+// test binaries that drive several engines from different host threads get
+// one pool each. Slabs are released at thread exit so leak checkers stay
+// quiet.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace numasim::sim {
+
+class FramePool {
+ public:
+  static void* allocate(std::size_t n) { return instance().alloc(n); }
+  static void deallocate(void* p, std::size_t n) noexcept { instance().free_one(p, n); }
+
+  /// Pooled bytes currently sitting on free lists (diagnostics).
+  static std::size_t free_bytes() { return instance().free_bytes_; }
+
+ private:
+  /// Size classes are 64-byte granules; larger frames (rare: big inline
+  /// locals) fall through to the global heap.
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kMaxPooled = 4096;
+  static constexpr std::size_t kClasses = kMaxPooled / kGranule;
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  static FramePool& instance() {
+    thread_local FramePool pool;
+    return pool;
+  }
+
+  static std::size_t class_of(std::size_t n) { return (n + kGranule - 1) / kGranule - 1; }
+
+  void* alloc(std::size_t n) {
+    if (n == 0 || n > kMaxPooled) return ::operator new(n);
+    auto& list = free_[class_of(n)];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      free_bytes_ -= (class_of(n) + 1) * kGranule;
+      return p;
+    }
+    const std::size_t sz = (class_of(n) + 1) * kGranule;
+    if (slab_left_ < sz) {
+      slabs_.push_back(static_cast<std::byte*>(::operator new(kSlabBytes)));
+      slab_cursor_ = slabs_.back();
+      slab_left_ = kSlabBytes;
+    }
+    void* p = slab_cursor_;
+    slab_cursor_ += sz;
+    slab_left_ -= sz;
+    return p;
+  }
+
+  void free_one(void* p, std::size_t n) noexcept {
+    if (n == 0 || n > kMaxPooled) {
+      ::operator delete(p);
+      return;
+    }
+    free_[class_of(n)].push_back(p);
+    free_bytes_ += (class_of(n) + 1) * kGranule;
+  }
+
+  FramePool() = default;
+  ~FramePool() {
+    for (std::byte* s : slabs_) ::operator delete(s);
+  }
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  std::array<std::vector<void*>, kClasses> free_;
+  std::vector<std::byte*> slabs_;
+  std::byte* slab_cursor_ = nullptr;
+  std::size_t slab_left_ = 0;
+  std::size_t free_bytes_ = 0;
+};
+
+}  // namespace numasim::sim

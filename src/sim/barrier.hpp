@@ -44,8 +44,7 @@ class Barrier {
   void on_arrive(std::coroutine_handle<> h) {
     waiting_.push_back(h);
     if (waiting_.size() == parties_) {
-      const Time release = engine_.now() + phase_cost_;
-      for (auto w : waiting_) engine_.schedule(release, w);
+      engine_.post_at(engine_.now() + phase_cost_, waiting_);
       waiting_.clear();
     }
   }

@@ -11,11 +11,6 @@ Engine::~Engine() {
   }
 }
 
-void Engine::schedule(Time t, std::coroutine_handle<> h) {
-  assert(t >= now_ && "cannot schedule into the simulated past");
-  queue_.push(Event{t < now_ ? now_ : t, seq_++, h});
-}
-
 RootId Engine::start(Task<void> task, Time at) {
   return start_with_callback(std::move(task), {}, at);
 }
@@ -31,7 +26,7 @@ RootId Engine::start_with_callback(Task<void> task, std::function<void()> on_don
   };
   state->handle.promise().on_root_done = &state->hook;
   roots_.push_back(std::move(state));
-  schedule(at < now_ ? now_ : at, raw->handle);
+  post_at(at < now_ ? now_ : at, raw->handle);
   return roots_.size() - 1;
 }
 
@@ -48,12 +43,28 @@ std::size_t Engine::live_roots() const {
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.t;
+  // Heap events due at the current instant carry smaller sequence numbers
+  // than anything in the FIFO (see the header comment), so draining them
+  // first reproduces exact (time, sequence) order.
+  for (;;) {
+    std::coroutine_handle<> h;
+    if (fifo_.empty()) {
+      // Pure-heap steady state: as cheap as the single-queue design. The
+      // top event's time is >= now_ (posts clamp), so the assignment both
+      // advances the clock and is a no-op for due-now events.
+      if (queue_.empty()) break;
+      now_ = queue_.top().t;
+      h = queue_.top().h;
+      queue_.pop();
+    } else if (!queue_.empty() && queue_.top().t <= now_) {
+      h = queue_.top().h;
+      queue_.pop();
+    } else {
+      h = fifo_.front();
+      fifo_.pop_front();
+    }
     ++events_;
-    ev.h.resume();
+    h.resume();
   }
   for (const auto& r : roots_) {
     if (r->done && r->handle.promise().exception) {

@@ -5,13 +5,25 @@
 // `co_await engine.resume_at(finish)`. The engine pops events in
 // (time, sequence) order, so execution is bit-reproducible: ties resolve by
 // scheduling order, never by host scheduling.
+//
+// Posting goes through post_at/post_in/post_now — the raw queue is an
+// implementation detail. Same-instant posts (post_now, post_at(now()),
+// clamped past posts) take an O(1) FIFO fast path instead of paying a heap
+// push/pop; the run loop drains heap events due at the current instant
+// before FIFO ones, which reproduces the (time, sequence) order of the
+// single-heap design exactly: any heap event due at `now` was posted while
+// the clock was still earlier, so its sequence number is smaller than that
+// of every event the FIFO holds.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -32,8 +44,34 @@ class Engine {
   /// Current simulated instant (the timestamp of the event being processed).
   Time now() const { return now_; }
 
-  /// Enqueue a raw coroutine resume at instant `t` (>= now()).
-  void schedule(Time t, std::coroutine_handle<> h);
+  /// Post a raw coroutine resume at absolute instant `t` (>= now(); an
+  /// earlier `t` is clamped to now()). Same-instant posts are O(1).
+  void post_at(Time t, std::coroutine_handle<> h) {
+    assert(t >= now_ && "cannot post into the simulated past");
+    if (t <= now_) {
+      fifo_.push_back(h);
+    } else {
+      queue_.push(Event{t, seq_++, h});
+    }
+  }
+
+  /// Batch-post: every handle in `hs` resumes at instant `t`, in the given
+  /// order (one heap insertion point, or the FIFO when `t` == now()).
+  void post_at(Time t, std::span<const std::coroutine_handle<>> hs) {
+    for (std::coroutine_handle<> h : hs) post_at(t, h);
+  }
+
+  /// Post a resume `d` nanoseconds from now.
+  void post_in(Time d, std::coroutine_handle<> h) { post_at(now_ + d, h); }
+
+  /// Post a resume at the current instant — always the O(1) FIFO path. The
+  /// handle runs after every already-posted event due at now(), in posting
+  /// order.
+  void post_now(std::coroutine_handle<> h) { fifo_.push_back(h); }
+
+  /// Deprecated pre-redesign spelling of post_at(); kept as a thin wrapper
+  /// (see DESIGN.md). New code should use post_at/post_in/post_now.
+  void schedule(Time t, std::coroutine_handle<> h) { post_at(t, h); }
 
   /// Awaitable: suspend the current coroutine and resume it at instant `t`.
   /// `t` may equal now(); the coroutine is then re-queued behind already
@@ -43,7 +81,7 @@ class Engine {
       Engine& engine;
       Time at;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { engine.schedule(at, h); }
+      void await_suspend(std::coroutine_handle<> h) { engine.post_at(at, h); }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this, t};
@@ -95,6 +133,7 @@ class Engine {
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::deque<std::coroutine_handle<>> fifo_;  // same-instant fast path
   std::vector<std::unique_ptr<RootState>> roots_;
 };
 

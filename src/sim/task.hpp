@@ -12,6 +12,8 @@
 #include <functional>
 #include <utility>
 
+#include "sim/arena.hpp"
+
 namespace numasim::sim {
 
 namespace detail {
@@ -20,6 +22,13 @@ struct PromiseBase {
   std::coroutine_handle<> continuation;           // who to resume on completion
   std::exception_ptr exception;                   // captured error, if any
   std::function<void()>* on_root_done = nullptr;  // set only for root tasks
+
+  // Frames are the simulator's event records; route them through the slab
+  // pool instead of the global heap. Inherited by both promise types, so
+  // every Task<T> frame is pooled. Only the sized delete is declared — the
+  // frame size is the size class.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept { FramePool::deallocate(p, n); }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

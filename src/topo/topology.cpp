@@ -106,6 +106,17 @@ void Topology::compute_routes() {
       routes_[idx(src, dst)] = std::move(path);
     }
   }
+
+  // Latency matrix: access_latency is on the per-page hot path of every
+  // kernel walk, so precompute destination DRAM latency + per-hop costs.
+  lat_.assign(std::size_t{n} * n, 0);
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      sim::Time lat = nodes_[dst].dram_latency;
+      for (LinkId l : routes_[idx(src, dst)]) lat += links_[l].hop_latency;
+      lat_[idx(src, dst)] = lat;
+    }
+  }
 }
 
 std::span<const CoreId> Topology::cores_of_node(NodeId n) const {
@@ -126,13 +137,7 @@ std::vector<NodeId> Topology::nodes_of_tier(MemTier t) const {
 }
 
 std::span<const LinkId> Topology::route(NodeId a, NodeId b) const {
-  return routes_.at(idx(a, b));
-}
-
-sim::Time Topology::access_latency(NodeId from, NodeId to) const {
-  sim::Time lat = nodes_.at(to).dram_latency;
-  for (LinkId l : route(from, to)) lat += links_[l].hop_latency;
-  return lat;
+  return routes_[idx(a, b)];
 }
 
 double Topology::numa_factor(NodeId from, NodeId to) const {

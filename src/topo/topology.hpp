@@ -152,7 +152,11 @@ class Topology {
   std::span<const LinkId> route(NodeId a, NodeId b) const;
 
   /// Uncontended access latency from a core on `from` to DRAM on `to`.
-  sim::Time access_latency(NodeId from, NodeId to) const;
+  /// Precomputed (destination DRAM latency + per-hop link latencies) — this
+  /// sits on the per-page hot path of every kernel walk.
+  sim::Time access_latency(NodeId from, NodeId to) const {
+    return lat_[idx(from, to)];
+  }
 
   /// The paper's "NUMA factor": remote/local latency ratio.
   double numa_factor(NodeId from, NodeId to) const;
@@ -187,6 +191,7 @@ class Topology {
   std::vector<std::vector<CoreId>> node_cores_;
   std::vector<unsigned> hops_;                // n x n
   std::vector<std::vector<LinkId>> routes_;   // n x n -> link path
+  std::vector<sim::Time> lat_;                // n x n access latency
 };
 
 }  // namespace numasim::topo

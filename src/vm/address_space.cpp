@@ -52,16 +52,20 @@ std::uint64_t AddressSpace::unmap(Vaddr addr, std::uint64_t len) {
   while (it != vmas_.end() && it->second.start < end) {
     pages += it->second.pages();
     pt_.clear_range(vpn_of(it->second.start), vpn_of(it->second.end));
+    cached_vma_ = nullptr;
     it = vmas_.erase(it);
   }
   return pages;
 }
 
 Vma* AddressSpace::find(Vaddr addr) {
+  if (cached_vma_ != nullptr && cached_vma_->contains(addr)) return cached_vma_;
   auto it = vmas_.upper_bound(addr);
   if (it == vmas_.begin()) return nullptr;
   --it;
-  return it->second.contains(addr) ? &it->second : nullptr;
+  if (!it->second.contains(addr)) return nullptr;
+  cached_vma_ = &it->second;
+  return cached_vma_;
 }
 
 const Vma* AddressSpace::find(Vaddr addr) const {
@@ -112,6 +116,7 @@ void AddressSpace::merge_adjacent() {
         a.pgoff_base == b.pgoff_base && a.huge == b.huge &&
         a.lock_id == b.lock_id && a.name == b.name) {
       a.end = b.end;
+      cached_vma_ = nullptr;
       vmas_.erase(next);
     } else {
       it = next;

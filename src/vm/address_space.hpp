@@ -93,6 +93,9 @@ class AddressSpace {
   void split_at(Vaddr addr);
 
   std::map<Vaddr, Vma> vmas_;  // keyed by start
+  /// One-entry find() cache (map nodes are address-stable; dropped on every
+  /// erase). Sequential fault/walk traffic hits the same VMA almost always.
+  mutable Vma* cached_vma_ = nullptr;
   PageTable pt_;
   Vaddr next_addr_ = kMmapBase;
   std::uint64_t next_lock_id_ = 1;

@@ -3,17 +3,16 @@
 namespace numasim::vm {
 
 void PageTable::clear_range(Vpn first, Vpn last) {
-  for (Vpn vpn = first; vpn < last; ++vpn) {
-    if (Pte* pte = find(vpn)) *pte = Pte{};
-  }
+  for_each_run(first, last, [](PageRun run) {
+    for (Pte& pte : run.ptes) pte = Pte{};
+  });
 }
 
 std::uint64_t PageTable::count_present(Vpn first, Vpn last) const {
   std::uint64_t n = 0;
-  for (Vpn vpn = first; vpn < last; ++vpn) {
-    const Pte* pte = find(vpn);
-    if (pte != nullptr && pte->present()) ++n;
-  }
+  for_each_run(first, last, [&n](ConstPageRun run) {
+    for (const Pte& pte : run.ptes) n += pte.present() ? 1 : 0;
+  });
   return n;
 }
 

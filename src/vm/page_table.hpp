@@ -4,12 +4,23 @@
 // cache-friendly walks for the multi-million-page worksets of Table 1, while
 // staying sparse across the 48-bit address space. A one-entry chunk cache
 // accelerates the sequential walks the kernel does constantly.
+//
+// Range walks go through the PageRun span API (for_each_run): one hash
+// lookup per 512-page chunk instead of one per page, with the PTEs of each
+// run handed out as a contiguous span. Chunk storage comes from a bump
+// arena owned by the table — chunks are never individually freed (unmap
+// only zeroes PTEs), so spans and Pte pointers stay valid for the table's
+// lifetime even while faults grow the table mid-walk.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "vm/pte.hpp"
 
@@ -18,12 +29,32 @@ namespace numasim::vm {
 /// Virtual page number (virtual address >> 12).
 using Vpn = std::uint64_t;
 
+/// A maximal contiguous span of existing PTEs inside one chunk, as yielded
+/// by PageTable::for_each_run. `ptes[i]` is the entry for page `first + i`.
+struct PageRun {
+  Vpn first = 0;
+  std::span<Pte> ptes;
+};
+
+/// Read-only variant of PageRun. Implicitly convertible from PageRun so a
+/// read-only callback can be handed to the mutable walk unchanged.
+struct ConstPageRun {
+  Vpn first = 0;
+  std::span<const Pte> ptes;
+
+  ConstPageRun() = default;
+  ConstPageRun(Vpn f, std::span<const Pte> p) : first(f), ptes(p) {}
+  ConstPageRun(const PageRun& r) : first(r.first), ptes(r.ptes) {}
+};
+
 class PageTable {
  public:
   static constexpr unsigned kChunkBits = 9;
   static constexpr std::uint64_t kChunkPages = 1ull << kChunkBits;
 
   /// PTE for `vpn`, or nullptr if nothing was ever established there.
+  /// Prefer for_each_run for walks over a range; per-page find stays as the
+  /// point-lookup primitive (and thin-wrapper compatibility, see DESIGN.md).
   Pte* find(Vpn vpn) {
     Chunk* c = chunk_of(vpn, /*create=*/false);
     return c ? &(*c)[vpn & (kChunkPages - 1)] : nullptr;
@@ -37,14 +68,67 @@ class PageTable {
     return (*chunk_of(vpn, /*create=*/true))[vpn & (kChunkPages - 1)];
   }
 
+  /// Invoke `fn` on each run of existing PTEs covering [first, last), in
+  /// ascending page order. Pages whose chunk was never established are
+  /// skipped — exactly the pages for which find() returns nullptr. `fn`
+  /// takes a PageRun (or ConstPageRun) and may return void, or bool where
+  /// `false` stops the walk early. Runs split only at chunk boundaries;
+  /// callers overlay VMA/policy/txn structure on top. Creating PTEs from
+  /// inside `fn` is safe: chunks are arena-backed and never move, and the
+  /// walk locates each chunk by key, not by map iteration.
+  template <typename Fn>
+  void for_each_run(Vpn first, Vpn last, Fn&& fn) {
+    if (first >= last) return;
+    const std::uint64_t last_key = (last - 1) >> kChunkBits;
+    for (std::uint64_t key = first >> kChunkBits; key <= last_key; ++key) {
+      Chunk* c = chunk_of(key << kChunkBits, /*create=*/false);
+      if (c == nullptr) continue;
+      const Vpn base = key << kChunkBits;
+      const std::uint64_t lo = base < first ? first - base : 0;
+      const std::uint64_t hi =
+          last - base < kChunkPages ? last - base : kChunkPages;
+      PageRun run{base + lo, std::span<Pte>(c->data() + lo, hi - lo)};
+      if constexpr (std::is_void_v<decltype(fn(run))>) {
+        fn(run);
+      } else {
+        if (!fn(run)) return;
+      }
+    }
+  }
+
+  template <typename Fn>
+  void for_each_run(Vpn first, Vpn last, Fn&& fn) const {
+    auto shim = [&fn](PageRun run) { return fn(ConstPageRun(run)); };
+    const_cast<PageTable*>(this)->for_each_run(first, last, shim);
+  }
+
   /// Reset all PTEs in [first, last) to empty (frames must already be freed).
   void clear_range(Vpn first, Vpn last);
 
-  /// Number of present PTEs in [first, last) — O(pages), for tests.
+  /// Number of present PTEs in [first, last).
   std::uint64_t count_present(Vpn first, Vpn last) const;
 
  private:
   using Chunk = std::array<Pte, kChunkPages>;
+
+  /// Bump arena for chunk storage: blocks of 16 chunks, allocated once and
+  /// released only with the table. Individual chunks are never freed, which
+  /// is what makes PageRun spans and Pte pointers stable.
+  class ChunkArena {
+   public:
+    Chunk* alloc() {
+      if (used_ == kBlockChunks || blocks_.empty()) {
+        blocks_.push_back(std::make_unique<Chunk[]>(kBlockChunks));
+        used_ = 0;
+      }
+      return &blocks_.back()[used_++];
+    }
+
+   private:
+    static constexpr std::size_t kBlockChunks = 16;
+    std::vector<std::unique_ptr<Chunk[]>> blocks_;
+    std::size_t used_ = kBlockChunks;
+  };
 
   Chunk* chunk_of(Vpn vpn, bool create) {
     const std::uint64_t key = vpn >> kChunkBits;
@@ -52,14 +136,15 @@ class PageTable {
     auto it = chunks_.find(key);
     if (it == chunks_.end()) {
       if (!create) return nullptr;
-      it = chunks_.emplace(key, std::make_unique<Chunk>()).first;
+      it = chunks_.emplace(key, arena_.alloc()).first;
     }
     cached_key_ = key;
-    cached_chunk_ = it->second.get();
+    cached_chunk_ = it->second;
     return cached_chunk_;
   }
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+  ChunkArena arena_;
+  std::unordered_map<std::uint64_t, Chunk*> chunks_;
   std::uint64_t cached_key_ = ~0ull;
   Chunk* cached_chunk_ = nullptr;
 };

@@ -61,13 +61,12 @@ struct Pte {
   /// cold-page evidence for tier demotion (saturating; reset on any hint
   /// fault and after a demotion).
   std::uint8_t numa_idle = 0;
-  /// Write-generation stamp: bumped on every write access (and poke), never
-  /// timed. The transactional migrator snapshots it before the shadow copy
-  /// and re-verifies it before the commit flip — the simulated dirty bit
-  /// race window.
+  /// Write-generation stamp: bumped on every write access (and poke). The
+  /// transactional migrator snapshots it before the shadow copy and
+  /// re-verifies it before the commit flip — the simulated dirty-bit race
+  /// window. Generation counting subsumes timestamping the last write: any
+  /// write after the snapshot changes the generation.
   std::uint32_t write_gen = 0;
-  /// Simulated instant of the last timed write access to this page.
-  std::uint64_t last_write = 0;
 
   bool present() const { return flags & kPresent; }
   bool next_touch() const { return flags & kNextTouch; }
@@ -90,5 +89,11 @@ struct Pte {
     if (prot_allows(vma_prot, Prot::kWrite)) set(kHwWrite);
   }
 };
+
+// Page metadata is the dominant per-page cost at million-page scale: a
+// 512-entry chunk must stay compact (12 bytes/page — 12 MiB of metadata per
+// million pages). Widening Pte needs a deliberate decision, not an
+// accidental field.
+static_assert(sizeof(Pte) <= 16, "Pte grew past the compact metadata budget");
 
 }  // namespace numasim::vm

@@ -520,5 +520,56 @@ TEST_F(KernelTest, MovePagesEmptyArrayReturnsBeforeMmapSem) {
   EXPECT_EQ(t.clock - t0, k_.cost().syscall_entry);
 }
 
+// --- compressed placement counts ---------------------------------------------
+
+TEST_F(KernelTest, PlacementCountsMatchPerPageWalkAcrossChunks) {
+  // Span several 512-page chunks with ragged edges so pages_on_node exercises
+  // both the per-chunk counter path and the edge walks, then cross-check every
+  // answer against a per-page page_node() count through a lifecycle of
+  // first-touch, explicit migration, dontneed, and partial munmap. validate()
+  // audits the maintained counters against the page table at every step.
+  ThreadCtx t = ctx_on(0);
+  const std::uint64_t npages = 3 * vm::PageTable::kChunkPages + 77;
+  const std::uint64_t len = npages * mem::kPageSize;
+  const vm::Vaddr a =
+      k_.sys_mmap(t, len, vm::Prot::kReadWrite,
+                  vm::MemPolicy::interleave(topo_.all_nodes_mask()));
+  k_.access(t, a, len, vm::Prot::kWrite, 3500.0);
+
+  auto manual = [&](vm::Vaddr addr, std::uint64_t l, topo::NodeId n) {
+    std::uint64_t c = 0;
+    for (vm::Vaddr p : pages_of(addr, l))
+      if (k_.page_node(pid_, p) == n) ++c;
+    return c;
+  };
+  auto check_all = [&](vm::Vaddr addr, std::uint64_t l) {
+    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n)
+      EXPECT_EQ(k_.pages_on_node(pid_, addr, l, n), manual(addr, l, n));
+    k_.validate(pid_);
+  };
+  check_all(a, len);
+  // Misaligned sub-range straddling chunk boundaries.
+  check_all(a + 13 * mem::kPageSize, len - 200 * mem::kPageSize);
+
+  // Migrate a stripe crossing the first chunk boundary.
+  std::vector<vm::Vaddr> pages;
+  for (std::uint64_t i = 500; i < 530; ++i)
+    pages.push_back(a + i * mem::kPageSize);
+  const std::vector<topo::NodeId> nodes(pages.size(), 3);
+  std::vector<int> status(pages.size());
+  ASSERT_TRUE(k_.sys_move_pages(t, pages, nodes, status).ok());
+  check_all(a, len);
+
+  // Drop a middle stripe, then unmap a ragged tail.
+  ASSERT_EQ(k_.sys_madvise(t, a + 600 * mem::kPageSize, 100 * mem::kPageSize,
+                           Advice::kDontNeed),
+            0);
+  check_all(a, len);
+  ASSERT_EQ(k_.sys_munmap(t, a + (npages - 300) * mem::kPageSize,
+                          300 * mem::kPageSize),
+            0);
+  check_all(a, (npages - 300) * mem::kPageSize);
+}
+
 }  // namespace
 }  // namespace numasim::kern

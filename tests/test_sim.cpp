@@ -250,5 +250,80 @@ TEST(CostStats, EveryKindHasAName) {
   }
 }
 
+TEST(Engine, SameTimestampWakeupsRunInPostOrder) {
+  // The redesigned posting API routes same-time wakeups through a FIFO.
+  // Heap events that land on the current timestamp still run before FIFO
+  // entries — they were posted from an earlier instant, so their sequence
+  // numbers are older. A: sleep to 10, record, then advance(0) (FIFO);
+  // B: sleep to 10, record. Expected order: A1, B1 (heap drained first), A2.
+  Engine e;
+  std::vector<int> order;
+  e.start([](Engine& eng, std::vector<int>& ord) -> Task<void> {
+    co_await eng.advance(10);
+    ord.push_back(1);  // A1
+    co_await eng.advance(0);
+    ord.push_back(3);  // A2
+  }(e, order));
+  e.start([](Engine& eng, std::vector<int>& ord) -> Task<void> {
+    co_await eng.advance(10);
+    ord.push_back(2);  // B1
+  }(e, order));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 10u);
+}
+
+TEST(Engine, ZeroDelayAdvancesCountAsEvents) {
+  Engine e;
+  e.start([](Engine& eng) -> Task<void> {
+    for (int i = 0; i < 5; ++i) co_await eng.advance(0);
+  }(e));
+  e.run();
+  // 5 wakeups + the root start event.
+  EXPECT_EQ(e.events_processed(), 6u);
+  EXPECT_EQ(e.now(), 0u);
+}
+
+TEST(Engine, RunsAreDeterministic) {
+  auto drive = [] {
+    Engine e;
+    std::vector<std::uint64_t> trace;
+    for (int id = 0; id < 4; ++id) {
+      e.start([](Engine& eng, int me, std::vector<std::uint64_t>& tr)
+                  -> Task<void> {
+        for (int i = 0; i < 8; ++i) {
+          co_await eng.advance(static_cast<Time>((me + 1) * 3));
+          tr.push_back(eng.now() * 10 + static_cast<std::uint64_t>(me));
+        }
+      }(e, id, trace));
+    }
+    e.run();
+    return std::pair{trace, e.events_processed()};
+  };
+  const auto a = drive();
+  const auto b = drive();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(FramePool, ReusesFreedCoroutineFrames) {
+  // The slab pool hands back the most recently freed block of a size class.
+  void* a = FramePool::allocate(192);
+  FramePool::deallocate(a, 192);
+  void* b = FramePool::allocate(192);
+  EXPECT_EQ(a, b);
+  FramePool::deallocate(b, 192);
+  // Distinct size classes never alias while both are live.
+  void* c = FramePool::allocate(64);
+  void* d = FramePool::allocate(128);
+  EXPECT_NE(c, d);
+  FramePool::deallocate(c, 64);
+  FramePool::deallocate(d, 128);
+  // Oversized requests bypass the pool but still round-trip.
+  void* big = FramePool::allocate(1 << 20);
+  ASSERT_NE(big, nullptr);
+  FramePool::deallocate(big, 1 << 20);
+}
+
 }  // namespace
 }  // namespace numasim::sim

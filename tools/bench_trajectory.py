@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Record simulator-core host performance over time.
+
+Runs bench/microbench_simcore on its fixed default matrix (scenario x nodes x
+pages x lock model), appends one entry to BENCH_simcore.json, and fails when
+total wall-clock regressed more than the threshold against the best prior
+entry. The checksum column is the simulated-behaviour fingerprint: a changed
+checksum means the build simulates different events, which the golden tests
+gate separately — here it is reported so the trajectory stays interpretable.
+
+Usage:
+  tools/bench_trajectory.py --bench build/bench/microbench_simcore \
+      [--file BENCH_simcore.json] [--label "..."] [--commit SHA] \
+      [--threshold 0.10] [--csv-in rows.csv] [--no-gate]
+
+--csv-in skips running the binary and ingests a previously captured
+`--csv` output instead (used to seed the file from an older checkout).
+"""
+
+import argparse
+import csv
+import io
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def run_bench(bench):
+    out = subprocess.run([bench, "--csv"], check=True, capture_output=True,
+                         text=True).stdout
+    return out
+
+
+def parse_rows(text):
+    rows = []
+    for rec in csv.DictReader(io.StringIO(text)):
+        rows.append({
+            "scenario": rec["scenario"],
+            "nodes": int(rec["nodes"]),
+            "pages": int(rec["pages"]),
+            "lock_model": rec["lock_model"],
+            "wall_ms": float(rec["wall_ms"]),
+            "checksum": rec["checksum"],
+        })
+    if not rows:
+        sys.exit("bench_trajectory: no CSV rows parsed")
+    return rows
+
+
+def git_commit():
+    try:
+        return subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              check=True, capture_output=True,
+                              text=True).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", help="path to microbench_simcore")
+    ap.add_argument("--file", default="BENCH_simcore.json")
+    ap.add_argument("--label", default="")
+    ap.add_argument("--commit", default=None)
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="fail when total wall-clock exceeds best prior by "
+                         "this fraction (default 0.10)")
+    ap.add_argument("--csv-in", help="ingest this CSV instead of running")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="append without the regression check")
+    args = ap.parse_args()
+
+    if args.csv_in:
+        with open(args.csv_in) as f:
+            rows = parse_rows(f.read())
+    elif args.bench:
+        rows = parse_rows(run_bench(args.bench))
+    else:
+        ap.error("one of --bench or --csv-in is required")
+
+    total = round(sum(r["wall_ms"] for r in rows), 3)
+
+    data = {"schema": 1, "entries": []}
+    if os.path.exists(args.file):
+        with open(args.file) as f:
+            data = json.load(f)
+
+    # Snapshot prior totals before appending: data["entries"] is mutated
+    # below, and the gate must compare against the *prior* best only.
+    prior = list(data["entries"])
+    entry = {
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": args.commit or git_commit(),
+        "label": args.label,
+        "total_wall_ms": total,
+        "rows": rows,
+    }
+    if prior:
+        best = min(e["total_wall_ms"] for e in prior)
+        entry["vs_best_prior"] = round(total / best, 3)
+        last = prior[-1]
+        changed = {(r["scenario"], r["nodes"], r["pages"], r["lock_model"])
+                   for r in rows} == \
+                  {(r["scenario"], r["nodes"], r["pages"], r["lock_model"])
+                   for r in last["rows"]} and \
+                  any(a["checksum"] != b["checksum"]
+                      for a, b in zip(rows, last["rows"]))
+        if changed:
+            print("bench_trajectory: NOTE simulated-behaviour checksums "
+                  "changed vs previous entry (golden tests gate whether "
+                  "that is allowed)", file=sys.stderr)
+    data["entries"].append(entry)
+
+    with open(args.file, "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+    print(f"bench_trajectory: appended entry ({total} ms total, "
+          f"{len(rows)} rows) to {args.file}")
+
+    if prior and not args.no_gate:
+        best = min(e["total_wall_ms"] for e in prior)
+        limit = best * (1.0 + args.threshold)
+        if total > limit:
+            sys.exit(f"bench_trajectory: REGRESSION total {total} ms > "
+                     f"{limit:.3f} ms (best prior {best} ms + "
+                     f"{args.threshold:.0%})")
+        print(f"bench_trajectory: OK total {total} ms vs best prior {best} ms")
+
+
+if __name__ == "__main__":
+    main()
