@@ -3,18 +3,28 @@
 
 Runs bench/microbench_simcore on its fixed default matrix (scenario x nodes x
 pages x lock model), appends one entry to BENCH_simcore.json, and fails when
-total wall-clock regressed more than the threshold against the best prior
-entry. The checksum column is the simulated-behaviour fingerprint: a changed
+wall-clock regressed more than the threshold against the best prior entry.
+The comparison is keyed per row: only (scenario, nodes, pages, lock_model)
+rows present in BOTH entries are summed on each side, so adding a new
+scenario (which inflates the raw total) cannot trip the gate, and a prior
+entry from an older checkout without the new rows stays comparable forever.
+The checksum column is the simulated-behaviour fingerprint: a changed
 checksum means the build simulates different events, which the golden tests
 gate separately — here it is reported so the trajectory stays interpretable.
+
+A missing, empty, or corrupt history file is treated as a fresh start (with
+a warning), so the first run of a new clone or a wiped file never crashes.
 
 Usage:
   tools/bench_trajectory.py --bench build/bench/microbench_simcore \
       [--file BENCH_simcore.json] [--label "..."] [--commit SHA] \
       [--threshold 0.10] [--csv-in rows.csv] [--no-gate]
+  tools/bench_trajectory.py --check
 
 --csv-in skips running the binary and ingests a previously captured
 `--csv` output instead (used to seed the file from an older checkout).
+--check runs the built-in self-test (no benchmark binary needed) and exits
+0/1; CI invokes it so gate bugs fail fast instead of mis-gating a PR.
 """
 
 import argparse
@@ -24,6 +34,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 
 
@@ -49,45 +60,52 @@ def parse_rows(text):
     return rows
 
 
-def git_commit():
+def row_key(r):
+    return (r["scenario"], r["nodes"], r["pages"], r["lock_model"])
+
+
+def load_history(path):
+    """Load the history file; missing/empty/corrupt all yield a fresh start."""
+    fresh = {"schema": 1, "entries": []}
+    if not os.path.exists(path):
+        return fresh
     try:
-        return subprocess.run(["git", "rev-parse", "--short", "HEAD"],
-                              check=True, capture_output=True,
-                              text=True).stdout.strip()
-    except (subprocess.CalledProcessError, FileNotFoundError):
-        return "unknown"
-
-
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--bench", help="path to microbench_simcore")
-    ap.add_argument("--file", default="BENCH_simcore.json")
-    ap.add_argument("--label", default="")
-    ap.add_argument("--commit", default=None)
-    ap.add_argument("--threshold", type=float, default=0.10,
-                    help="fail when total wall-clock exceeds best prior by "
-                         "this fraction (default 0.10)")
-    ap.add_argument("--csv-in", help="ingest this CSV instead of running")
-    ap.add_argument("--no-gate", action="store_true",
-                    help="append without the regression check")
-    args = ap.parse_args()
-
-    if args.csv_in:
-        with open(args.csv_in) as f:
-            rows = parse_rows(f.read())
-    elif args.bench:
-        rows = parse_rows(run_bench(args.bench))
-    else:
-        ap.error("one of --bench or --csv-in is required")
-
-    total = round(sum(r["wall_ms"] for r in rows), 3)
-
-    data = {"schema": 1, "entries": []}
-    if os.path.exists(args.file):
-        with open(args.file) as f:
+        with open(path) as f:
             data = json.load(f)
+        if not isinstance(data, dict) or not isinstance(
+                data.get("entries"), list):
+            raise ValueError("unexpected shape")
+        return data
+    except (json.JSONDecodeError, ValueError, OSError) as e:
+        print(f"bench_trajectory: WARNING {path} unreadable ({e}); "
+              "starting a fresh history", file=sys.stderr)
+        return fresh
 
-    # Snapshot prior totals before appending: data["entries"] is mutated
+
+def compare_common(rows, prior_entries):
+    """Wall-clock ratio of `rows` vs the *best* (fastest over shared rows)
+    prior entry: the maximum per-entry ratio, so a slow old entry can never
+    mask a regression against the fastest one. Returns (ratio, entry) or
+    (None, None) when no prior entry shares any row key."""
+    new_by_key = {row_key(r): r["wall_ms"] for r in rows}
+    best_ratio, best_entry = None, None
+    for e in prior_entries:
+        common = [(new_by_key[row_key(r)], r["wall_ms"])
+                  for r in e.get("rows", []) if row_key(r) in new_by_key]
+        prior_sum = sum(p for _, p in common)
+        if not common or prior_sum <= 0:
+            continue
+        ratio = sum(n for n, _ in common) / prior_sum
+        if best_ratio is None or ratio > best_ratio:
+            best_ratio, best_entry = ratio, e
+    return best_ratio, best_entry
+
+
+def append_and_gate(rows, args):
+    total = round(sum(r["wall_ms"] for r in rows), 3)
+    data = load_history(args.file)
+
+    # Snapshot prior entries before appending: data["entries"] is mutated
     # below, and the gate must compare against the *prior* best only.
     prior = list(data["entries"])
     entry = {
@@ -97,17 +115,14 @@ def main():
         "total_wall_ms": total,
         "rows": rows,
     }
-    if prior:
-        best = min(e["total_wall_ms"] for e in prior)
-        entry["vs_best_prior"] = round(total / best, 3)
+    best_ratio, _ = compare_common(rows, prior)
+    if best_ratio is not None:
+        entry["vs_best_prior"] = round(best_ratio, 3)
         last = prior[-1]
-        changed = {(r["scenario"], r["nodes"], r["pages"], r["lock_model"])
-                   for r in rows} == \
-                  {(r["scenario"], r["nodes"], r["pages"], r["lock_model"])
-                   for r in last["rows"]} and \
-                  any(a["checksum"] != b["checksum"]
-                      for a, b in zip(rows, last["rows"]))
-        if changed:
+        last_by_key = {row_key(r): r["checksum"]
+                       for r in last.get("rows", [])}
+        if any(last_by_key.get(row_key(r), r["checksum"]) != r["checksum"]
+               for r in rows):
             print("bench_trajectory: NOTE simulated-behaviour checksums "
                   "changed vs previous entry (golden tests gate whether "
                   "that is allowed)", file=sys.stderr)
@@ -119,14 +134,127 @@ def main():
     print(f"bench_trajectory: appended entry ({total} ms total, "
           f"{len(rows)} rows) to {args.file}")
 
-    if prior and not args.no_gate:
-        best = min(e["total_wall_ms"] for e in prior)
-        limit = best * (1.0 + args.threshold)
-        if total > limit:
-            sys.exit(f"bench_trajectory: REGRESSION total {total} ms > "
-                     f"{limit:.3f} ms (best prior {best} ms + "
-                     f"{args.threshold:.0%})")
-        print(f"bench_trajectory: OK total {total} ms vs best prior {best} ms")
+    if best_ratio is not None and not args.no_gate:
+        limit = 1.0 + args.threshold
+        if best_ratio > limit:
+            sys.exit(f"bench_trajectory: REGRESSION common-row wall-clock "
+                     f"{best_ratio:.3f}x best prior exceeds "
+                     f"{limit:.3f}x (threshold {args.threshold:.0%})")
+        print(f"bench_trajectory: OK {best_ratio:.3f}x vs best prior "
+              "over common rows")
+
+
+def git_commit():
+    try:
+        return subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              check=True, capture_output=True,
+                              text=True).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def self_check():
+    """Exercise the load tolerance and the intersection gate in a tempdir;
+    prints one line per case and exits 1 on the first failure."""
+    failures = []
+
+    def case(name, ok):
+        print(f"bench_trajectory --check: {'ok' if ok else 'FAIL'} {name}")
+        if not ok:
+            failures.append(name)
+
+    def row(scenario, ms, checksum="00"):
+        return {"scenario": scenario, "nodes": 2, "pages": 4096,
+                "lock_model": "coarse", "wall_ms": ms, "checksum": checksum}
+
+    with tempfile.TemporaryDirectory() as d:
+        missing = os.path.join(d, "missing.json")
+        case("missing file -> fresh history",
+             load_history(missing) == {"schema": 1, "entries": []})
+
+        empty = os.path.join(d, "empty.json")
+        open(empty, "w").close()
+        case("empty file -> fresh history",
+             load_history(empty)["entries"] == [])
+
+        corrupt = os.path.join(d, "corrupt.json")
+        with open(corrupt, "w") as f:
+            f.write("{not json")
+        case("corrupt file -> fresh history",
+             load_history(corrupt)["entries"] == [])
+
+        shaped = os.path.join(d, "shaped.json")
+        with open(shaped, "w") as f:
+            json.dump(["wrong", "shape"], f)
+        case("wrong-shape file -> fresh history",
+             load_history(shaped)["entries"] == [])
+
+        prior = [{"total_wall_ms": 2.0, "rows": [row("a", 1.0), row("b", 1.0)]}]
+        ratio, _ = compare_common([row("a", 1.0), row("b", 1.0)], prior)
+        case("identical rows -> ratio 1.0", ratio is not None
+             and abs(ratio - 1.0) < 1e-9)
+
+        ratio, _ = compare_common([row("a", 2.0), row("b", 2.0)], prior)
+        case("2x slower -> ratio 2.0 (would trip 10% gate)",
+             ratio is not None and abs(ratio - 2.0) < 1e-9)
+
+        # A new scenario inflates the raw total but must not affect the
+        # gate: only rows present in both entries are compared.
+        ratio, _ = compare_common(
+            [row("a", 1.0), row("b", 1.0), row("new", 50.0)], prior)
+        case("new scenario rows excluded from gate",
+             ratio is not None and abs(ratio - 1.0) < 1e-9)
+
+        ratio, _ = compare_common([row("other", 1.0)], prior)
+        case("no common rows -> no gate", ratio is None)
+
+        # Best prior wins: a slow older entry must not mask a regression
+        # against the fastest one.
+        two = [{"total_wall_ms": 4.0, "rows": [row("a", 4.0)]},
+               {"total_wall_ms": 1.0, "rows": [row("a", 1.0)]}]
+        ratio, best = compare_common([row("a", 2.0)], two)
+        case("gate compares against best prior",
+             ratio is not None and abs(ratio - 2.0) < 1e-9
+             and best is two[1])
+
+        parsed = parse_rows("scenario,nodes,pages,lock_model,wall_ms,checksum\n"
+                            "a,2,4096,coarse,1.5,00ff\n")
+        case("csv round-trip", parsed == [row("a", 1.5, "00ff")])
+
+    if failures:
+        sys.exit(f"bench_trajectory --check: {len(failures)} failure(s)")
+    print("bench_trajectory --check: all cases passed")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", help="path to microbench_simcore")
+    ap.add_argument("--file", default="BENCH_simcore.json")
+    ap.add_argument("--label", default="")
+    ap.add_argument("--commit", default=None)
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="fail when common-row wall-clock exceeds best prior "
+                         "by this fraction (default 0.10)")
+    ap.add_argument("--csv-in", help="ingest this CSV instead of running")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="append without the regression check")
+    ap.add_argument("--check", action="store_true",
+                    help="run the built-in self-test and exit")
+    args = ap.parse_args()
+
+    if args.check:
+        self_check()
+        return
+
+    if args.csv_in:
+        with open(args.csv_in) as f:
+            rows = parse_rows(f.read())
+    elif args.bench:
+        rows = parse_rows(run_bench(args.bench))
+    else:
+        ap.error("one of --bench or --csv-in is required")
+
+    append_and_gate(rows, args)
 
 
 if __name__ == "__main__":
