@@ -56,6 +56,15 @@ inline Options& current_options() {
   return o;
 }
 
+/// Binary-local usage text appended by print_usage. Benches with their own
+/// enum flags (serving_mixes's --mix/--placement) set this before parsing,
+/// so a bad value rejected by parse_enum_flag prints the full flag surface
+/// of the binary, not just the common one.
+inline const char*& extra_usage() {
+  static const char* text = nullptr;
+  return text;
+}
+
 inline void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--csv] [--quick] [--metrics] [--trace=FILE]\n"
@@ -83,6 +92,7 @@ inline void print_usage(const char* prog) {
                "                 on; host-side only — simulated events are\n"
                "                 identical either way)\n",
                prog);
+  if (extra_usage() != nullptr) std::fputs(extra_usage(), stderr);
 }
 
 /// One name -> value row of an enum-valued command-line flag.

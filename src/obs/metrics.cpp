@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace numasim::obs {
@@ -30,6 +31,37 @@ std::uint64_t quantile_impl(const std::array<std::uint64_t, kHistBuckets>& bucke
   return max;
 }
 
+double percentile_impl(const std::array<std::uint64_t, kHistBuckets>& buckets,
+                       std::uint64_t count, std::uint64_t min,
+                       std::uint64_t max, double p) {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest-rank (1-based): the sample at ceil(p% * count).
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    const std::uint64_t n = buckets[b];
+    if (n != 0 && seen + n >= rank) {
+      // Spread the bucket's samples evenly across (lo, hi] and take the
+      // rank's position; the [min, max] clamp keeps the estimate inside the
+      // observed range (exact when all samples share one bucket boundary).
+      const auto lo = static_cast<double>(Histogram::bucket_lo(b));
+      const auto hi = static_cast<double>(Histogram::bucket_hi(b));
+      const auto within = static_cast<double>(rank - seen);
+      double v = lo + (hi - lo) * within / static_cast<double>(n);
+      v = std::max(v, static_cast<double>(min));
+      v = std::min(v, static_cast<double>(max));
+      return v;
+    }
+    seen += n;
+  }
+  return static_cast<double>(max);
+}
+
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
 }
@@ -42,6 +74,14 @@ std::uint64_t Histogram::quantile(double q) const {
 
 std::uint64_t HistogramSnap::quantile(double q) const {
   return quantile_impl(buckets, count, max, q);
+}
+
+double Histogram::percentile(double p) const {
+  return percentile_impl(buckets_, count_, min(), max_, p);
+}
+
+double HistogramSnap::percentile(double p) const {
+  return percentile_impl(buckets, count, count == 0 ? 0 : min, max, p);
 }
 
 Counter& Registry::counter(std::string_view name) {

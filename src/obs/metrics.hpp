@@ -101,6 +101,14 @@ class Histogram {
   /// Coarse by construction (log2 buckets) but monotone and cheap.
   std::uint64_t quantile(double q) const;
 
+  /// Interpolated percentile (p in [0, 100]): rank-based (ceil(p% * count),
+  /// nearest-rank) with linear interpolation across the rank's position
+  /// inside its log2 bucket, clamped to [min, max] so a single-bucket
+  /// distribution still reports within the observed range. Monotone in p;
+  /// percentile(100) == max. Finer than quantile() whenever a bucket holds
+  /// samples of mixed magnitude — the resolution latency benches need.
+  double percentile(double p) const;
+
   void reset() {
     buckets_.fill(0);
     count_ = sum_ = max_ = 0;
@@ -126,6 +134,8 @@ struct HistogramSnap {
     return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
   }
   std::uint64_t quantile(double q) const;
+  /// Interpolated percentile; see Histogram::percentile.
+  double percentile(double p) const;
 };
 
 /// Point-in-time copy of every metric in a registry. Cheap value type;

@@ -80,6 +80,66 @@ TEST(Histogram, RecordTracksStats) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);  // empty
+  // All four samples share bucket 3 = [4,8): the samples spread evenly
+  // across (lo, hi], so ranks land at lo + (hi-lo) * rank/4.
+  h.record(4);
+  h.record(5);
+  h.record(6);
+  h.record(7);
+  EXPECT_DOUBLE_EQ(h.percentile(25), 4.75);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 7.0);  // == max, exactly
+}
+
+TEST(Histogram, PercentileClampsToObservedRange) {
+  Histogram h;
+  h.record(1000);  // bucket 10 = [512, 1023]: interpolation alone would
+                   // report 1023 for the top rank and 512 + eps for low p
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+  // Out-of-range p is clamped, not rejected.
+  EXPECT_DOUBLE_EQ(h.percentile(-5), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(250), 1000.0);
+}
+
+TEST(Histogram, PercentileIsMonotoneAndBoundedByQuantile) {
+  Histogram h;
+  std::uint64_t x = 88172645463325252ull;  // deterministic xorshift spread
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    h.record(x % 100000);
+  }
+  double prev = -1.0;
+  for (double p = 0; p <= 100.0; p += 0.5) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    EXPECT_GE(v, static_cast<double>(h.min()));
+    EXPECT_LE(v, static_cast<double>(h.max()));
+    // quantile() reports the rank's bucket upper bound; the interpolated
+    // estimate never exceeds it.
+    EXPECT_LE(v, static_cast<double>(h.quantile(p / 100.0)) + 1e-9) << p;
+    prev = v;
+  }
+}
+
+TEST(Histogram, SnapshotPercentileMatchesLive) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  for (std::uint64_t v : {3u, 17u, 90u, 1500u, 70000u}) h.record(v);
+  const Snapshot s = reg.snapshot();
+  const HistogramSnap& hs = s.histograms.at("lat");
+  for (double p : {0.0, 25.0, 50.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(hs.percentile(p), h.percentile(p)) << p;
+  EXPECT_DOUBLE_EQ(HistogramSnap{}.percentile(50), 0.0);  // empty snap
+}
+
 // --- registry ----------------------------------------------------------------
 
 TEST(Registry, OwnedBoundAndRetire) {
@@ -109,8 +169,11 @@ TEST(Registry, StableReferencesAcrossInserts) {
   Registry reg;
   Counter& a = reg.counter("a");
   Histogram& h = reg.histogram("h");
-  for (int i = 0; i < 100; ++i)
-    reg.counter("c" + std::to_string(i)).inc();
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    reg.counter(name).inc();
+  }
   a.inc(42);
   h.record(9);
   EXPECT_EQ(reg.counter("a").value(), 42u);

@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
-"""Record simulator-core host performance over time.
+"""Record benchmark trajectories (host perf or simulated SLO) over time.
 
-Runs bench/microbench_simcore on its fixed default matrix (scenario x nodes x
-pages x lock model), appends one entry to BENCH_simcore.json, and fails when
-wall-clock regressed more than the threshold against the best prior entry.
-The comparison is keyed per row: only (scenario, nodes, pages, lock_model)
-rows present in BOTH entries are summed on each side, so adding a new
+Runs a bench binary in --csv mode, appends one entry to a JSON history file,
+and fails when the tracked value regressed more than the threshold against
+the best prior entry. The comparison is keyed per row: only rows whose key
+columns match in BOTH entries are summed on each side, so adding a new
 scenario (which inflates the raw total) cannot trip the gate, and a prior
 entry from an older checkout without the new rows stays comparable forever.
 The checksum column is the simulated-behaviour fingerprint: a changed
 checksum means the build simulates different events, which the golden tests
 gate separately — here it is reported so the trajectory stays interpretable.
+
+The column schema is configurable so one tool serves every bench:
+  microbench_simcore (default): key scenario,nodes,pages,lock_model,
+      value wall_ms (host perf), checksum checksum.
+  serving_mixes: --key-cols policy,mix,phase --value-col p99_us
+      --checksum-col cksum (simulated tail latency).
 
 A missing, empty, or corrupt history file is treated as a fresh start (with
 a warning), so the first run of a new clone or a wiped file never crashes.
@@ -18,7 +23,9 @@ a warning), so the first run of a new clone or a wiped file never crashes.
 Usage:
   tools/bench_trajectory.py --bench build/bench/microbench_simcore \
       [--file BENCH_simcore.json] [--label "..."] [--commit SHA] \
-      [--threshold 0.10] [--csv-in rows.csv] [--no-gate]
+      [--threshold 0.10] [--csv-in rows.csv] [--no-gate] \
+      [--bench-args "--quick"] [--key-cols a,b] [--value-col v] \
+      [--checksum-col c]
   tools/bench_trajectory.py --check
 
 --csv-in skips running the binary and ingests a previously captured
@@ -37,31 +44,44 @@ import sys
 import tempfile
 import time
 
+DEFAULT_KEY_COLS = "scenario,nodes,pages,lock_model"
+DEFAULT_VALUE_COL = "wall_ms"
+DEFAULT_CHECKSUM_COL = "checksum"
 
-def run_bench(bench):
-    out = subprocess.run([bench, "--csv"], check=True, capture_output=True,
-                         text=True).stdout
+
+def run_bench(bench, extra_args):
+    out = subprocess.run([bench] + extra_args + ["--csv"], check=True,
+                         capture_output=True, text=True).stdout
     return out
 
 
-def parse_rows(text):
+def parse_rows(text, key_cols, value_col, checksum_col):
     rows = []
     for rec in csv.DictReader(io.StringIO(text)):
-        rows.append({
-            "scenario": rec["scenario"],
-            "nodes": int(rec["nodes"]),
-            "pages": int(rec["pages"]),
-            "lock_model": rec["lock_model"],
-            "wall_ms": float(rec["wall_ms"]),
-            "checksum": rec["checksum"],
-        })
+        row = {}
+        for c in key_cols + [value_col, checksum_col]:
+            if c not in rec:
+                sys.exit(f"bench_trajectory: CSV is missing column {c!r} "
+                         f"(has: {', '.join(rec)})")
+        for c in key_cols:
+            v = rec[c]
+            try:
+                v = int(v)  # keep numeric keys numeric in the JSON
+            except ValueError:
+                pass
+            row[c] = v
+        row[value_col] = float(rec[value_col])
+        row[checksum_col] = rec[checksum_col]
+        rows.append(row)
     if not rows:
         sys.exit("bench_trajectory: no CSV rows parsed")
     return rows
 
 
-def row_key(r):
-    return (r["scenario"], r["nodes"], r["pages"], r["lock_model"])
+def row_key(r, key_cols):
+    # str()-normalized so an int 2 from a fresh parse matches a "2" from an
+    # older hand-edited history file.
+    return tuple(str(r.get(c)) for c in key_cols)
 
 
 def load_history(path):
@@ -82,16 +102,19 @@ def load_history(path):
         return fresh
 
 
-def compare_common(rows, prior_entries):
-    """Wall-clock ratio of `rows` vs the *best* (fastest over shared rows)
+def compare_common(rows, prior_entries, key_cols=None, value_col=None):
+    """Tracked-value ratio of `rows` vs the *best* (lowest over shared rows)
     prior entry: the maximum per-entry ratio, so a slow old entry can never
     mask a regression against the fastest one. Returns (ratio, entry) or
     (None, None) when no prior entry shares any row key."""
-    new_by_key = {row_key(r): r["wall_ms"] for r in rows}
+    key_cols = key_cols or DEFAULT_KEY_COLS.split(",")
+    value_col = value_col or DEFAULT_VALUE_COL
+    new_by_key = {row_key(r, key_cols): r[value_col] for r in rows}
     best_ratio, best_entry = None, None
     for e in prior_entries:
-        common = [(new_by_key[row_key(r)], r["wall_ms"])
-                  for r in e.get("rows", []) if row_key(r) in new_by_key]
+        common = [(new_by_key[row_key(r, key_cols)], r[value_col])
+                  for r in e.get("rows", [])
+                  if value_col in r and row_key(r, key_cols) in new_by_key]
         prior_sum = sum(p for _, p in common)
         if not common or prior_sum <= 0:
             continue
@@ -101,8 +124,8 @@ def compare_common(rows, prior_entries):
     return best_ratio, best_entry
 
 
-def append_and_gate(rows, args):
-    total = round(sum(r["wall_ms"] for r in rows), 3)
+def append_and_gate(rows, args, key_cols, value_col, checksum_col):
+    total = round(sum(r[value_col] for r in rows), 3)
     data = load_history(args.file)
 
     # Snapshot prior entries before appending: data["entries"] is mutated
@@ -112,16 +135,17 @@ def append_and_gate(rows, args):
         "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "commit": args.commit or git_commit(),
         "label": args.label,
-        "total_wall_ms": total,
+        f"total_{value_col}": total,
         "rows": rows,
     }
-    best_ratio, _ = compare_common(rows, prior)
+    best_ratio, _ = compare_common(rows, prior, key_cols, value_col)
     if best_ratio is not None:
         entry["vs_best_prior"] = round(best_ratio, 3)
         last = prior[-1]
-        last_by_key = {row_key(r): r["checksum"]
+        last_by_key = {row_key(r, key_cols): r.get(checksum_col)
                        for r in last.get("rows", [])}
-        if any(last_by_key.get(row_key(r), r["checksum"]) != r["checksum"]
+        if any(last_by_key.get(row_key(r, key_cols),
+                               r[checksum_col]) != r[checksum_col]
                for r in rows):
             print("bench_trajectory: NOTE simulated-behaviour checksums "
                   "changed vs previous entry (golden tests gate whether "
@@ -131,13 +155,13 @@ def append_and_gate(rows, args):
     with open(args.file, "w") as f:
         json.dump(data, f, indent=2)
         f.write("\n")
-    print(f"bench_trajectory: appended entry ({total} ms total, "
+    print(f"bench_trajectory: appended entry ({total} {value_col} total, "
           f"{len(rows)} rows) to {args.file}")
 
     if best_ratio is not None and not args.no_gate:
         limit = 1.0 + args.threshold
         if best_ratio > limit:
-            sys.exit(f"bench_trajectory: REGRESSION common-row wall-clock "
+            sys.exit(f"bench_trajectory: REGRESSION common-row {value_col} "
                      f"{best_ratio:.3f}x best prior exceeds "
                      f"{limit:.3f}x (threshold {args.threshold:.0%})")
         print(f"bench_trajectory: OK {best_ratio:.3f}x vs best prior "
@@ -157,6 +181,7 @@ def self_check():
     """Exercise the load tolerance and the intersection gate in a tempdir;
     prints one line per case and exits 1 on the first failure."""
     failures = []
+    default_keys = DEFAULT_KEY_COLS.split(",")
 
     def case(name, ok):
         print(f"bench_trajectory --check: {'ok' if ok else 'FAIL'} {name}")
@@ -218,8 +243,39 @@ def self_check():
              and best is two[1])
 
         parsed = parse_rows("scenario,nodes,pages,lock_model,wall_ms,checksum\n"
-                            "a,2,4096,coarse,1.5,00ff\n")
+                            "a,2,4096,coarse,1.5,00ff\n",
+                            default_keys, "wall_ms", "checksum")
         case("csv round-trip", parsed == [row("a", 1.5, "00ff")])
+
+        # Custom column schema (serving_mixes): different keys, a simulated
+        # latency value column, extra CSV columns ignored.
+        skeys = ["policy", "mix", "phase"]
+
+        def srow(pol, p99, ck="aa"):
+            return {"policy": pol, "mix": "scan_mixed", "phase": 0,
+                    "p99_us": p99, "cksum": ck}
+
+        parsed = parse_rows(
+            "policy,mix,phase,requests,p50_us,p99_us,cksum\n"
+            "autonuma,scan_mixed,0,72000,1.1,15.473,aa\n",
+            skeys, "p99_us", "cksum")
+        case("custom columns parse (extras dropped)",
+             parsed == [srow("autonuma", 15.473)])
+
+        sprior = [{"rows": [srow("autonuma", 10.0)]}]
+        ratio, _ = compare_common([srow("autonuma", 12.0)], sprior,
+                                  skeys, "p99_us")
+        case("custom value column ratio",
+             ratio is not None and abs(ratio - 1.2) < 1e-9)
+
+        # str()-normalized keys: an int phase matches a stringly-typed one
+        # from a hand-edited history.
+        stringly = [{"rows": [{"policy": "autonuma", "mix": "scan_mixed",
+                               "phase": "0", "p99_us": 10.0, "cksum": "aa"}]}]
+        ratio, _ = compare_common([srow("autonuma", 10.0)], stringly,
+                                  skeys, "p99_us")
+        case("int/str key normalization",
+             ratio is not None and abs(ratio - 1.0) < 1e-9)
 
     if failures:
         sys.exit(f"bench_trajectory --check: {len(failures)} failure(s)")
@@ -228,13 +284,21 @@ def self_check():
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--bench", help="path to microbench_simcore")
+    ap.add_argument("--bench", help="path to the bench binary")
+    ap.add_argument("--bench-args", default="",
+                    help="extra arguments for the bench run (e.g. --quick)")
     ap.add_argument("--file", default="BENCH_simcore.json")
     ap.add_argument("--label", default="")
     ap.add_argument("--commit", default=None)
     ap.add_argument("--threshold", type=float, default=0.10,
-                    help="fail when common-row wall-clock exceeds best prior "
+                    help="fail when the common-row value exceeds best prior "
                          "by this fraction (default 0.10)")
+    ap.add_argument("--key-cols", default=DEFAULT_KEY_COLS,
+                    help="comma-separated identity columns of one row")
+    ap.add_argument("--value-col", default=DEFAULT_VALUE_COL,
+                    help="numeric column the gate tracks")
+    ap.add_argument("--checksum-col", default=DEFAULT_CHECKSUM_COL,
+                    help="simulated-behaviour fingerprint column")
     ap.add_argument("--csv-in", help="ingest this CSV instead of running")
     ap.add_argument("--no-gate", action="store_true",
                     help="append without the regression check")
@@ -246,15 +310,20 @@ def main():
         self_check()
         return
 
+    key_cols = [c.strip() for c in args.key_cols.split(",") if c.strip()]
+    if not key_cols:
+        ap.error("--key-cols must name at least one column")
+
     if args.csv_in:
         with open(args.csv_in) as f:
-            rows = parse_rows(f.read())
+            text = f.read()
     elif args.bench:
-        rows = parse_rows(run_bench(args.bench))
+        text = run_bench(args.bench, args.bench_args.split())
     else:
         ap.error("one of --bench or --csv-in is required")
+    rows = parse_rows(text, key_cols, args.value_col, args.checksum_col)
 
-    append_and_gate(rows, args)
+    append_and_gate(rows, args, key_cols, args.value_col, args.checksum_col)
 
 
 if __name__ == "__main__":
